@@ -1,0 +1,90 @@
+// Command calibrate scans workload-generator parameter spaces and reports,
+// for each candidate computation, the static-clustering ratio curve's best
+// point and its within-20%-of-best size range. It supports corpus design:
+// the corpus-wide claims of the paper (a single maximum cluster size good
+// for every computation) hold only when the corpus computations' within-20%
+// ranges share a common intersection, so new corpus entries are vetted here
+// first.
+//
+// Usage:
+//
+//	calibrate -family ring -sizes 64,120,128,250,288,300
+//	calibrate -family treereduce -sizes 31,47,63
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "ring", "generator family: ring | ringbi | bcastring | pipeline | treereduce | stencil | butterfly")
+		sizesArg = flag.String("sizes", "32,64,128", "comma-separated process counts (rows*cols for stencil as RxC)")
+		strat    = flag.String("strategy", experiment.StratStatic, "strategy to sweep")
+	)
+	flag.Parse()
+
+	for _, tok := range strings.Split(*sizesArg, ",") {
+		tok = strings.TrimSpace(tok)
+		tr, err := buildCandidate(*family, tok)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(2)
+		}
+		tc := experiment.NewTraceContext(tr)
+		c, err := experiment.Sweep(tc, *strat, experiment.DefaultSizes(), metrics.DefaultFixedVector)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		bs, br := c.Best()
+		fmt.Printf("%-12s %-8s ev=%-7d best %.4f @%-3d within-20%%: %v\n",
+			*family, tok, tr.NumEvents(), br, bs, c.WithinFactor(metrics.DefaultFactor))
+	}
+}
+
+// buildCandidate generates one candidate trace with event volume comparable
+// to the corpus entries.
+func buildCandidate(family, tok string) (*model.Trace, error) {
+	if family == "stencil" {
+		parts := strings.SplitN(tok, "x", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("stencil wants RxC, got %q", tok)
+		}
+		rows, err1 := strconv.Atoi(parts[0])
+		cols, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("stencil wants RxC, got %q", tok)
+		}
+		iters := 1 + 24000/(rows*cols*10)
+		return workload.Stencil2D(rows, cols, iters), nil
+	}
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return nil, fmt.Errorf("bad size %q", tok)
+	}
+	switch family {
+	case "ring":
+		return workload.Ring(n, 1+24000/(n*4), false), nil
+	case "ringbi":
+		return workload.Ring(n, 1+24000/(n*6), true), nil
+	case "bcastring":
+		return workload.BroadcastThenRing(n, 1+24000/(n*5)), nil
+	case "pipeline":
+		return workload.Pipeline(n, 1+24000/(n*5)), nil
+	case "treereduce":
+		return workload.TreeReduce(n, 1+24000/(n*7)), nil
+	case "butterfly":
+		return workload.Butterfly(n, 1+24000/(n*12)), nil
+	}
+	return nil, fmt.Errorf("unknown family %q", family)
+}

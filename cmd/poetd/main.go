@@ -1,0 +1,83 @@
+// Command poetd runs the monitoring entity as a network daemon — the
+// centre of the paper's Figure 1. Instrumented processes connect over TCP
+// and stream their event records (in any cross-process arrival order);
+// visualization and control clients connect and issue precedence queries.
+//
+// Usage:
+//
+//	poetd -procs 300 -addr 127.0.0.1:7777 -maxcs 13 -strategy merge-nth -threshold 10
+//
+// Protocol (line-oriented; see internal/monitor.Server):
+//
+//	EVENT s 0:1 -> 1:1
+//	EVENT r 1:1 <- 0:1
+//	PRECEDES 0:1 1:1
+//	CONCURRENT 0:1 1:1
+//	STATS
+//	QUIT
+//
+// Try it interactively:
+//
+//	poetd -procs 2 &
+//	printf 'EVENT s 0:1 -> 1:1\nEVENT r 1:1 <- 0:1\nPRECEDES 0:1 1:1\nQUIT\n' | nc 127.0.0.1 7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/hct"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/strategy"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7777", "listen address")
+		procs     = flag.Int("procs", 300, "number of monitored processes")
+		maxCS     = flag.Int("maxcs", 13, "maximum cluster size")
+		strat     = flag.String("strategy", "merge-1st", "merge-1st | merge-nth")
+		threshold = flag.Float64("threshold", 10, "normalized CR threshold for merge-nth")
+		fixed     = flag.Int("fixed", metrics.DefaultFixedVector, "fixed encoding vector size")
+	)
+	flag.Parse()
+
+	cfg := hct.Config{MaxClusterSize: *maxCS}
+	switch *strat {
+	case "merge-1st":
+		cfg.Decider = strategy.NewMergeOnFirst()
+	case "merge-nth":
+		cfg.Decider = strategy.NewMergeOnNth(*threshold)
+	default:
+		fmt.Fprintf(os.Stderr, "poetd: unknown strategy %q\n", *strat)
+		os.Exit(2)
+	}
+	m, err := monitor.New(*procs, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := monitor.NewServer(m, *fixed)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("poetd: monitoring %d processes on %s (%s, maxCS %d)\n", *procs, bound, *strat, *maxCS)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("poetd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+		os.Exit(1)
+	}
+	st := m.Stats(*fixed)
+	fmt.Printf("poetd: %d events, %d cluster receives, %d ints of timestamp storage\n",
+		st.Events, st.ClusterReceives, st.StorageInts)
+}

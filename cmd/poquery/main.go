@@ -1,0 +1,189 @@
+// Command poquery loads a trace into the monitoring entity and answers
+// precedence queries, cross-checking the cluster-timestamp answer against
+// the Fidge/Mattern answer and ground-truth graph reachability.
+//
+// Usage:
+//
+//	poquery -trace pvm/ring-64 -e 0:1 -f 1:5
+//	poquery -in trace.hctr -e 3:10 -f 7:2 -maxcs 13 -strategy merge-nth
+//	poquery -trace dce/rpc-36 -sample 50      # random sampled queries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fm"
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/poset"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "binary trace file")
+		traceName = flag.String("trace", "", "corpus computation to generate")
+		eArg      = flag.String("e", "", "first event as proc:index")
+		fArg      = flag.String("f", "", "second event as proc:index")
+		maxCS     = flag.Int("maxcs", 13, "maximum cluster size")
+		strat     = flag.String("strategy", "merge-1st", "merge-1st | merge-nth")
+		threshold = flag.Float64("threshold", 10, "normalized CR threshold for merge-nth")
+		sample    = flag.Int("sample", 0, "answer this many random queries instead of -e/-f")
+		seed      = flag.Int64("seed", 1, "seed for -sample")
+		cut       = flag.Bool("cut", false, "with -e: print the greatest-predecessor and greatest-concurrent cuts of the event")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*in, *traceName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := hct.Config{MaxClusterSize: *maxCS}
+	switch *strat {
+	case "merge-1st":
+		cfg.Decider = strategy.NewMergeOnFirst()
+	case "merge-nth":
+		cfg.Decider = strategy.NewMergeOnNth(*threshold)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strat))
+	}
+	m, err := monitor.New(tr.NumProcs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.DeliverAll(tr); err != nil {
+		fatal(err)
+	}
+
+	// Reference implementations for cross-checking.
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmClock := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		fmClock[st.Event.ID] = st.Clock
+	}
+	oracle, err := poset.NewOracleFromTrace(tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	query := func(e, f model.EventID) error {
+		got, err := m.Precedes(e, f)
+		if err != nil {
+			return err
+		}
+		wantFM := fm.Precedes(e, fmClock[e], f, fmClock[f])
+		wantGraph := oracle.HappenedBefore(e, f)
+		rel := "concurrent with"
+		if got {
+			rel = "happened before"
+		} else if back, _ := m.Precedes(f, e); back {
+			rel = "happened after"
+		}
+		fmt.Printf("%v %s %v   [cluster-ts=%v fidge-mattern=%v reachability=%v]\n",
+			e, rel, f, got, wantFM, wantGraph)
+		if got != wantFM || got != wantGraph {
+			return fmt.Errorf("DISAGREEMENT on (%v,%v)", e, f)
+		}
+		return nil
+	}
+
+	if *sample > 0 {
+		r := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *sample; i++ {
+			e := tr.Events[r.Intn(len(tr.Events))].ID
+			f := tr.Events[r.Intn(len(tr.Events))].ID
+			if err := query(e, f); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%d sampled queries, all three implementations agree\n", *sample)
+		return
+	}
+
+	e, err := parseID(*eArg)
+	if err != nil {
+		fatal(err)
+	}
+	if *cut {
+		// The compound queries of Section 1.1: the event's causal-past
+		// frontier and its greatest concurrent events.
+		preds, err := m.GreatestPredecessors(e)
+		if err != nil {
+			fatal(err)
+		}
+		conc, err := m.GreatestConcurrent(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("causal cuts around %v:\n", e)
+		fmt.Printf("%-8s %-22s %-22s\n", "process", "greatest predecessor", "greatest concurrent")
+		for q := range preds {
+			pr, co := "-", "-"
+			if preds[q].Index > 0 {
+				pr = fmt.Sprintf("p%d:%d", q, preds[q].Index)
+			}
+			if conc[q].Index > 0 {
+				co = fmt.Sprintf("p%d:%d", q, conc[q].Index)
+			}
+			fmt.Printf("%-8d %-22s %-22s\n", q, pr, co)
+		}
+		return
+	}
+	f, err := parseID(*fArg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := query(e, f); err != nil {
+		fatal(err)
+	}
+}
+
+func parseID(s string) (model.EventID, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return model.EventID{}, fmt.Errorf("bad event %q, want proc:index", s)
+	}
+	p, err1 := strconv.Atoi(parts[0])
+	i, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return model.EventID{}, fmt.Errorf("bad event %q, want proc:index", s)
+	}
+	return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(i)}, nil
+}
+
+func loadTrace(in, traceName string) (*model.Trace, error) {
+	if traceName != "" {
+		spec, ok := workload.Find(traceName)
+		if !ok {
+			return nil, fmt.Errorf("unknown computation %q", traceName)
+		}
+		return spec.Generate(), nil
+	}
+	if in == "" {
+		return nil, fmt.Errorf("need -in or -trace")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBinary(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "poquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command sweep runs a maximum-cluster-size sweep of one or more clustering
+// strategies over one corpus computation and prints the ratio curves — the
+// raw material of Figures 4 and 5 of the paper.
+//
+// Usage:
+//
+//	sweep -trace pvm/stencil2d-256 [-strategies static,merge-1st]
+//	      [-min 2] [-max 50] [-fixed 300] [-chart] [-gnuplot]
+//	sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		traceName  = flag.String("trace", "", "corpus computation name (see -list)")
+		strategies = flag.String("strategies", "static,merge-1st,merge-nth-5,merge-nth-10", "comma-separated strategy names")
+		minCS      = flag.Int("min", 2, "smallest maximum cluster size")
+		maxCS      = flag.Int("max", 50, "largest maximum cluster size")
+		fixed      = flag.Int("fixed", metrics.DefaultFixedVector, "fixed timestamp-encoding vector size")
+		chart      = flag.Bool("chart", false, "render an ASCII chart")
+		gnuplot    = flag.Bool("gnuplot", false, "emit gnuplot-style data columns")
+		list       = flag.Bool("list", false, "list corpus computations and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workload.Corpus() {
+			tr := s.Generate()
+			fmt.Printf("%-24s %4d procs %7d events\n", s.Name, s.Procs, tr.NumEvents())
+		}
+		return
+	}
+	spec, ok := workload.Find(*traceName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sweep: unknown computation %q (use -list)\n", *traceName)
+		os.Exit(2)
+	}
+	if *minCS < 1 || *maxCS < *minCS {
+		fmt.Fprintf(os.Stderr, "sweep: bad size range [%d,%d]\n", *minCS, *maxCS)
+		os.Exit(2)
+	}
+	var sizes []int
+	for s := *minCS; s <= *maxCS; s++ {
+		sizes = append(sizes, s)
+	}
+
+	tc := experiment.NewTraceContext(spec.Generate())
+	var curves []*metrics.Curve
+	for _, strat := range strings.Split(*strategies, ",") {
+		strat = strings.TrimSpace(strat)
+		if strat == "" {
+			continue
+		}
+		c, err := experiment.Sweep(tc, strat, sizes, *fixed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		curves = append(curves, c)
+	}
+
+	st := tc.Trace.Stats()
+	fmt.Printf("# %s: %d procs, %d events (%d msgs, %d sync pairs), fixed vector %d\n",
+		spec.Name, st.NumProcs, st.NumEvents, st.Messages, st.SyncPairs, *fixed)
+
+	if *gnuplot {
+		fmt.Print(plot.GnuplotData(curves))
+	} else {
+		fmt.Printf("%-6s", "maxCS")
+		for _, c := range curves {
+			fmt.Printf(" %14s", c.Strategy)
+		}
+		fmt.Println()
+		for i, s := range sizes {
+			fmt.Printf("%-6d", s)
+			for _, c := range curves {
+				fmt.Printf(" %14.4f", c.Ratio[i])
+			}
+			fmt.Println()
+		}
+	}
+	for _, c := range curves {
+		bs, br := c.Best()
+		fmt.Printf("# %-14s best %.4f at maxCS=%d; within-20%% sizes %v\n",
+			c.Strategy, br, bs, c.WithinFactor(metrics.DefaultFactor))
+	}
+	if *chart {
+		fmt.Print(plot.ASCII(curves, 70, 20, 0.6))
+	}
+}

@@ -1,0 +1,105 @@
+// Command tracegen generates synthetic computation traces from the
+// evaluation corpus and writes them to disk in binary or text format.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -trace pvm/stencil2d-252 -o stencil.hctr
+//	tracegen -all -dir traces/
+//	tracegen -trace dce/rpc-72 -text -o rpc.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/plot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name   = flag.String("trace", "", "corpus computation to generate")
+		all    = flag.Bool("all", false, "generate the entire corpus")
+		dir    = flag.String("dir", ".", "output directory for -all")
+		out    = flag.String("o", "", "output file (default stdout)")
+		asText = flag.Bool("text", false, "write the text format instead of binary")
+		list   = flag.Bool("list", false, "list corpus computations and exit")
+		draw   = flag.Int("draw", 0, "with -trace: draw an ASCII space-time diagram of the first N events instead of serializing")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range workload.Corpus() {
+			fmt.Printf("%-26s %4d procs  (%s)\n", s.Name, s.Procs, s.Env)
+		}
+	case *all:
+		for _, s := range workload.Corpus() {
+			tr := s.Generate()
+			ext := ".hctr"
+			if *asText {
+				ext = ".txt"
+			}
+			path := filepath.Join(*dir, strings.ReplaceAll(s.Name, "/", "-")+ext)
+			if err := writeFile(path, tr, *asText); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d events)\n", path, tr.NumEvents())
+		}
+	case *name != "":
+		spec, ok := workload.Find(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown computation %q (use -list)", *name))
+		}
+		tr := spec.Generate()
+		if *draw > 0 {
+			fmt.Print(plot.SpaceTime(tr, *draw))
+			return
+		}
+		if *out == "" {
+			if err := write(os.Stdout, tr, *asText); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := writeFile(*out, tr, *asText); err != nil {
+			fatal(err)
+		}
+		st := tr.Stats()
+		fmt.Fprintf(os.Stderr, "wrote %s: %d procs, %d events (%d messages, %d sync pairs)\n",
+			*out, st.NumProcs, st.NumEvents, st.Messages, st.SyncPairs)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeFile(path string, tr *model.Trace, asText bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, tr, asText); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func write(f *os.File, tr *model.Trace, asText bool) error {
+	if asText {
+		return trace.WriteText(f, tr)
+	}
+	return trace.WriteBinary(f, tr)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// thousand reproduces the motivating scenario of Section 1.1 of the paper:
+// a thousand-process system generating hundreds of thousands of events.
+// Stored Fidge/Mattern timestamps for such a computation would need a
+// 1000-integer vector per event — gigabytes that thrash virtual memory.
+// The cluster timestamp keeps the store in tens of megabytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	clusterts "repro"
+)
+
+func main() {
+	const procs = 1000
+	// A nearest-neighbour SPMD computation across 1000 processes.
+	fmt.Println("generating a 1000-process computation...")
+	b := clusterts.NewBuilder("thousand", procs)
+	for round := 0; round < 34; round++ {
+		for p := 0; p < procs; p++ {
+			b.Message(clusterts.ProcessID(p), clusterts.ProcessID((p+1)%procs))
+		}
+		for p := 0; p < procs; p++ {
+			b.Unary(clusterts.ProcessID(p))
+		}
+	}
+	tr := b.Trace()
+	fmt.Printf("%d events across %d processes\n\n", tr.NumEvents(), tr.NumProcs)
+
+	start := time.Now()
+	ts, err := clusterts.NewTimestamper(procs, clusterts.Config{
+		MaxClusterSize: 13,
+		Decider:        clusterts.MergeOnFirst(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ts.ObserveAll(tr); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Section 1.1's arithmetic: N-int vectors, 4 bytes per int.
+	const bytesPerInt = 4
+	fmBytes := int64(tr.NumEvents()) * procs * bytesPerInt
+	hctBytes := ts.StorageInts(procs) * bytesPerInt
+
+	fmt.Printf("timestamping took %v (%.1f µs/event)\n\n",
+		elapsed.Round(time.Millisecond), float64(elapsed.Microseconds())/float64(tr.NumEvents()))
+	fmt.Printf("stored Fidge/Mattern timestamps would need %8.1f MB\n", float64(fmBytes)/1e6)
+	fmt.Printf("hierarchical cluster timestamps need       %8.1f MB\n", float64(hctBytes)/1e6)
+	fmt.Printf("reduction: %.1fx (%d cluster receives among %d events)\n",
+		float64(fmBytes)/float64(hctBytes), ts.ClusterReceives(), ts.Events())
+
+	// Queries remain exact and fast.
+	qStart := time.Now()
+	const queries = 100000
+	count := 0
+	for i := 0; i < queries; i++ {
+		e := tr.Events[(i*7919)%len(tr.Events)].ID
+		f := tr.Events[(i*104729)%len(tr.Events)].ID
+		ok, err := ts.Precedes(e, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok {
+			count++
+		}
+	}
+	qElapsed := time.Since(qStart)
+	fmt.Printf("\n%d precedence queries in %v (%.2f µs/query, %d ordered pairs)\n",
+		queries, qElapsed.Round(time.Millisecond), float64(qElapsed.Microseconds())/queries, count)
+}

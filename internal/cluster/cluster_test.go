@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	p := NewSingletons(4)
+	if p.NumProcs() != 4 || p.NumLive() != 4 {
+		t.Fatalf("singletons: procs=%d live=%d", p.NumProcs(), p.NumLive())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 4; i++ {
+		c := p.ClusterOf(i)
+		if c.Size() != 1 || c.Members[0] != i {
+			t.Fatalf("ClusterOf(%d) = %v", i, c)
+		}
+		if !c.Contains(i) || c.Contains(i+1) && c.Members[0] != i+1 {
+			t.Fatalf("Contains broken for %d", i)
+		}
+	}
+	if p.Merges() != 0 {
+		t.Fatalf("fresh partition has merges")
+	}
+}
+
+func TestNewSingletonsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSingletons(0)
+}
+
+func TestMerge(t *testing.T) {
+	p := NewSingletons(5)
+	a := p.ClusterOf(1)
+	b := p.ClusterOf(3)
+	m := p.Merge(a.ID, b.ID)
+	if m.Size() != 2 || m.Members[0] != 1 || m.Members[1] != 3 {
+		t.Fatalf("merged members = %v", m.Members)
+	}
+	if p.NumLive() != 4 {
+		t.Fatalf("NumLive = %d, want 4", p.NumLive())
+	}
+	if p.ClusterOf(1) != m || p.ClusterOf(3) != m {
+		t.Fatalf("byProc not updated")
+	}
+	if _, ok := p.Lookup(a.ID); ok {
+		t.Fatalf("retired cluster still live")
+	}
+	if got, ok := p.Lookup(m.ID); !ok || got != m {
+		t.Fatalf("Lookup of merged cluster failed")
+	}
+	if p.Merges() != 1 {
+		t.Fatalf("Merges = %d", p.Merges())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Old Info objects remain intact (epoch property).
+	if a.Size() != 1 || a.Members[0] != 1 {
+		t.Fatalf("retired cluster mutated: %v", a)
+	}
+	// Merge of merged with another.
+	c := p.ClusterOf(0)
+	m2 := p.Merge(m.ID, c.ID)
+	want := []int32{0, 1, 3}
+	for i, v := range want {
+		if m2.Members[i] != v {
+			t.Fatalf("m2 members = %v, want %v", m2.Members, want)
+		}
+	}
+	if pos, ok := m2.PosOf(3); !ok || pos != 2 {
+		t.Fatalf("PosOf(3) = %d,%v", pos, ok)
+	}
+	if _, ok := m2.PosOf(4); ok {
+		t.Fatalf("PosOf(4) found non-member")
+	}
+	if p.MaxLiveSize() != 3 {
+		t.Fatalf("MaxLiveSize = %d", p.MaxLiveSize())
+	}
+}
+
+func TestMergePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("same cluster", func() {
+		p := NewSingletons(2)
+		p.Merge(p.ClusterOf(0).ID, p.ClusterOf(0).ID)
+	})
+	expectPanic("retired a", func() {
+		p := NewSingletons(3)
+		a := p.ClusterOf(0)
+		b := p.ClusterOf(1)
+		p.Merge(a.ID, b.ID)
+		p.Merge(a.ID, p.ClusterOf(2).ID)
+	})
+	expectPanic("retired b", func() {
+		p := NewSingletons(3)
+		a := p.ClusterOf(0)
+		b := p.ClusterOf(1)
+		p.Merge(a.ID, b.ID)
+		p.Merge(p.ClusterOf(2).ID, b.ID)
+	})
+	expectPanic("ClusterOf out of range", func() {
+		NewSingletons(2).ClusterOf(5)
+	})
+}
+
+func TestNewFromGroups(t *testing.T) {
+	p, err := NewFromGroups(5, [][]int32{{4, 0}, {1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumLive() != 3 {
+		t.Fatalf("NumLive = %d", p.NumLive())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := p.ClusterOf(0)
+	if c.Size() != 2 || c.Members[0] != 0 || c.Members[1] != 4 {
+		t.Fatalf("group not sorted: %v", c.Members)
+	}
+	live := p.Live()
+	if len(live) != 3 {
+		t.Fatalf("Live() returned %d", len(live))
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i-1].ID >= live[i].ID {
+			t.Fatalf("Live() not sorted by ID")
+		}
+	}
+}
+
+func TestNewFromGroupsErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		groups [][]int32
+	}{
+		{"empty group", 2, [][]int32{{0, 1}, {}}},
+		{"out of range", 2, [][]int32{{0, 5}, {1}}},
+		{"duplicate", 2, [][]int32{{0, 1}, {1}}},
+		{"uncovered", 3, [][]int32{{0, 1}}},
+		{"negative", 2, [][]int32{{-1, 0}, {1}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewFromGroups(tc.n, tc.groups); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	groups := Contiguous(7, 3)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 3 || len(groups[2]) != 1 {
+		t.Fatalf("block sizes wrong: %v", groups)
+	}
+	if groups[2][0] != 6 {
+		t.Fatalf("last block = %v", groups[2])
+	}
+	p, err := NewFromGroups(7, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate maxCS is clamped.
+	g1 := Contiguous(3, 0)
+	if len(g1) != 3 {
+		t.Fatalf("clamped contiguous = %v", g1)
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	p := NewSingletons(2)
+	if s := p.ClusterOf(1).String(); s == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+// TestQuickRandomMergesKeepInvariants merges random live pairs and checks the
+// partition invariants after every step.
+func TestQuickRandomMergesKeepInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		p := NewSingletons(n)
+		for step := 0; step < n-1; step++ {
+			live := p.Live()
+			if len(live) < 2 {
+				break
+			}
+			i := r.Intn(len(live))
+			j := r.Intn(len(live) - 1)
+			if j >= i {
+				j++
+			}
+			before := live[i].Size() + live[j].Size()
+			m := p.Merge(live[i].ID, live[j].ID)
+			if m.Size() != before {
+				return false
+			}
+			if p.Validate() != nil {
+				return false
+			}
+		}
+		// Fully merged: one live cluster with all processes.
+		return p.NumLive() == 1 && p.Live()[0].Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	p := NewSingletons(5)
+	// Build {0,1} and {2,3}.
+	ab := p.Merge(p.ClusterOf(0).ID, p.ClusterOf(1).ID)
+	cd := p.Merge(p.ClusterOf(2).ID, p.ClusterOf(3).ID)
+	// Move 1 into {2,3}.
+	newSrc, newDst := p.Migrate(1, cd.ID)
+	if newSrc == nil || newSrc.Size() != 1 || newSrc.Members[0] != 0 {
+		t.Fatalf("newSrc = %v", newSrc)
+	}
+	if newDst.Size() != 3 || newDst.Members[0] != 1 || newDst.Members[1] != 2 || newDst.Members[2] != 3 {
+		t.Fatalf("newDst = %v", newDst)
+	}
+	if p.ClusterOf(1) != newDst || p.ClusterOf(0) != newSrc {
+		t.Fatalf("byProc not updated")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Old epochs untouched.
+	if ab.Size() != 2 || cd.Size() != 2 {
+		t.Fatalf("retired epochs mutated: %v %v", ab, cd)
+	}
+	// Migrating the last member retires the source entirely.
+	_, dst2 := p.Migrate(0, newDst.ID)
+	if dst2.Size() != 4 {
+		t.Fatalf("dst2 = %v", dst2)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Insertion keeps members sorted when proc is largest.
+	_, dst3 := p.Migrate(4, dst2.ID)
+	for i := 1; i < dst3.Size(); i++ {
+		if dst3.Members[i-1] >= dst3.Members[i] {
+			t.Fatalf("unsorted after migrate: %v", dst3.Members)
+		}
+	}
+	if p.NumLive() != 1 {
+		t.Fatalf("NumLive = %d", p.NumLive())
+	}
+}
+
+func TestMigratePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("out of range", func() { NewSingletons(2).Migrate(9, 0) })
+	expectPanic("own cluster", func() {
+		p := NewSingletons(2)
+		p.Migrate(0, p.ClusterOf(0).ID)
+	})
+	expectPanic("retired dst", func() {
+		p := NewSingletons(3)
+		a := p.ClusterOf(1)
+		p.Merge(a.ID, p.ClusterOf(2).ID)
+		p.Migrate(0, a.ID)
+	})
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestReproductionClaims is the regression net over the headline results of
+// the reproduction: it re-runs the corpus-wide analyses on a coarse sweep
+// grid and asserts the qualitative claims of Section 4 (as recorded in
+// EXPERIMENTS.md) still hold. If a workload or strategy change silently
+// breaks the reproduction, this test fails.
+//
+// The grid is coarsened to keep the test around a few seconds; skip with
+// -short.
+func TestReproductionClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide analysis")
+	}
+	specs := workload.Corpus()
+	sizes := []int{2, 4, 6, 8, 10, 12, 13, 14, 15, 16, 18, 20, 24, 30, 40, 50}
+
+	staticCurves, err := CorpusSweep(specs, StratStatic, sizes, metrics.DefaultFixedVector, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// T2: some maxCS within 20% of best for EVERY computation, and the
+	// paper's 13/14 must be among them.
+	sa := AnalyzeStatic(staticCurves)
+	if len(sa.IdealSizes) == 0 {
+		t.Fatal("T2 broken: no maxCS covers all computations for static clustering")
+	}
+	covers := map[int]bool{}
+	for _, s := range sa.IdealSizes {
+		covers[s] = true
+	}
+	if !covers[13] && !covers[14] {
+		t.Fatalf("T2 drifted: ideal sizes %v no longer include 13 or 14", sa.IdealSizes)
+	}
+	// T1: a window of width >= 2 with at most one violator.
+	if !sa.Window1OK || sa.Window1.Width() < 2 {
+		t.Fatalf("T1 broken: window %v (ok=%v)", sa.Window1, sa.Window1OK)
+	}
+
+	// T3: merge-on-1st must NOT have a universal size, and its best
+	// coverage must be below 95% (the paper found <80%; we allow drift
+	// but the qualitative gap to static's 100% must remain).
+	m1Curves, err := CorpusSweep(specs, StratMerge1st, sizes, metrics.DefaultFixedVector, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma := AnalyzeMerge1st(m1Curves)
+	if ma.IdealWindowOK {
+		t.Fatal("T3 broken: merge-on-1st has a universal maxCS")
+	}
+	if ma.BestCoverage >= 0.95 {
+		t.Fatalf("T3 drifted: merge-on-1st coverage %.2f too close to universal", ma.BestCoverage)
+	}
+
+	// T4: merge-on-Nth(10) has a window with at most two violators per
+	// size, and every violator stays under 1/3 of Fidge/Mattern.
+	nthCurves, err := CorpusSweep(specs, StratMergeNth10, sizes, metrics.DefaultFixedVector, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := AnalyzeNth(nthCurves)
+	if !na.Window2OK {
+		t.Fatal("T4 broken: no merge-on-Nth window")
+	}
+	if !na.AllViolatorsUnderThird {
+		t.Fatalf("T4 broken: a violator exceeds 1/3 of Fidge/Mattern: %+v", na.Violators)
+	}
+
+	// Headline: the static algorithm saves well over half the space at
+	// its ideal size on average.
+	var sum float64
+	at := sa.IdealSizes[0]
+	for _, c := range staticCurves {
+		r, ok := c.At(at)
+		if !ok {
+			t.Fatalf("curve %s missing size %d", c.Computation, at)
+		}
+		sum += r
+	}
+	mean := sum / float64(len(staticCurves))
+	if mean > 0.45 {
+		t.Fatalf("average ratio at ideal size = %.3f — the space saving evaporated", mean)
+	}
+}

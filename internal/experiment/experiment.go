@@ -1,0 +1,224 @@
+// Package experiment is the evaluation harness: it re-runs the paper's
+// Section 4 experiments — maximum-cluster-size sweeps of every clustering
+// strategy over the computation corpus — and produces the figure series and
+// summary tables.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/commgraph"
+	"repro/internal/hct"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// Strategy names under comparison. Section 4 compares four algorithms
+// (Fidge/Mattern, merge-on-1st, static, merge-on-Nth); the contiguous,
+// k-medoid and k-means entries are the ablation baselines discussed in
+// Sections 1.2 and 3.1.
+const (
+	StratFM         = "fidge-mattern"
+	StratMerge1st   = "merge-1st"
+	StratMergeNth5  = "merge-nth-5"
+	StratMergeNth10 = "merge-nth-10"
+	StratStatic     = "static"
+	StratContiguous = "contiguous"
+	StratKMedoid    = "kmedoid"
+	StratKMeans     = "kmeans"
+)
+
+// AllStrategies lists every sweepable strategy name.
+func AllStrategies() []string {
+	return []string{
+		StratFM, StratMerge1st, StratMergeNth5, StratMergeNth10,
+		StratStatic, StratContiguous, StratKMedoid, StratKMeans,
+	}
+}
+
+// DefaultSizes returns the paper's sweep range: maxCS from 2 to 50.
+func DefaultSizes() []int {
+	sizes := make([]int, 0, 49)
+	for s := 2; s <= 50; s++ {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// TraceContext caches the per-trace artifacts shared across sweep points:
+// the trace itself and its communication graph (used by the static
+// strategies). Build one per computation and reuse it for every strategy
+// and maxCS.
+type TraceContext struct {
+	Trace *model.Trace
+
+	graphOnce sync.Once
+	graph     *commgraph.Graph
+}
+
+// NewTraceContext wraps a generated trace.
+func NewTraceContext(tr *model.Trace) *TraceContext {
+	return &TraceContext{Trace: tr}
+}
+
+// Graph returns the (cached) communication graph.
+func (tc *TraceContext) Graph() *commgraph.Graph {
+	tc.graphOnce.Do(func() { tc.graph = commgraph.FromTrace(tc.Trace) })
+	return tc.graph
+}
+
+// Point is one sweep measurement.
+type Point struct {
+	MaxCS  int
+	Ratio  float64
+	Result hct.Result
+	// ClusterVector is the vector size charged to projection timestamps
+	// (maxCS, except for the unbounded ablation clusterings).
+	ClusterVector int
+}
+
+// RunPoint measures one (strategy, maxCS) configuration on a trace.
+func RunPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, error) {
+	tr := tc.Trace
+	n := tr.NumProcs
+
+	if strat == StratFM {
+		// Fidge/Mattern: every event stores the fixed vector; ratio 1.
+		return Point{
+			MaxCS:         maxCS,
+			Ratio:         1.0,
+			Result:        hct.Result{Events: tr.NumEvents(), ClusterReceives: tr.NumEvents(), MaxClusterSize: maxCS},
+			ClusterVector: fixedVector,
+		}, nil
+	}
+
+	cfg := hct.Config{MaxClusterSize: maxCS}
+	clusterVector := maxCS
+	switch strat {
+	case StratMerge1st:
+		cfg.Decider = strategy.NewMergeOnFirst()
+	case StratMergeNth5:
+		cfg.Decider = strategy.NewMergeOnNth(5)
+	case StratMergeNth10:
+		cfg.Decider = strategy.NewMergeOnNth(10)
+	case StratStatic:
+		groups := strategy.StaticGreedy(tc.Graph(), maxCS)
+		part, err := cluster.NewFromGroups(n, groups)
+		if err != nil {
+			return Point{}, fmt.Errorf("experiment: static clustering: %w", err)
+		}
+		cfg.Partition = part
+	case StratContiguous:
+		part, err := cluster.NewFromGroups(n, cluster.Contiguous(n, maxCS))
+		if err != nil {
+			return Point{}, fmt.Errorf("experiment: contiguous clustering: %w", err)
+		}
+		cfg.Partition = part
+	case StratKMedoid, StratKMeans:
+		k := (n + maxCS - 1) / maxCS
+		var groups [][]int32
+		if strat == StratKMedoid {
+			groups = strategy.KMedoid(tc.Graph(), k, 20)
+		} else {
+			groups = strategy.KMeansStyle(tc.Graph(), k, 20)
+		}
+		part, err := cluster.NewFromGroups(n, groups)
+		if err != nil {
+			return Point{}, fmt.Errorf("experiment: %s clustering: %w", strat, err)
+		}
+		cfg.Partition = part
+		// These clusterings are not size-bounded: charge projection
+		// timestamps at the size of the largest cluster actually built.
+		for _, g := range groups {
+			if len(g) > clusterVector {
+				clusterVector = len(g)
+			}
+		}
+	default:
+		return Point{}, fmt.Errorf("experiment: unknown strategy %q", strat)
+	}
+
+	res, err := hct.ResultOf(tr, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	ratio := res.AverageRatioWithVector(fixedVector, clusterVector)
+	// The fixed-vector encoding caps a timestamp's cost at the full
+	// vector; a ratio above 1 would mean the tool stores more than
+	// Fidge/Mattern, which the encoding forbids.
+	if ratio > 1 {
+		ratio = 1
+	}
+	return Point{MaxCS: maxCS, Ratio: ratio, Result: res, ClusterVector: clusterVector}, nil
+}
+
+// Sweep runs a strategy over the full range of maximum cluster sizes.
+func Sweep(tc *TraceContext, strat string, sizes []int, fixedVector int) (*metrics.Curve, error) {
+	c := &metrics.Curve{
+		Computation: tc.Trace.Name,
+		Strategy:    strat,
+		MaxCS:       make([]int, 0, len(sizes)),
+		Ratio:       make([]float64, 0, len(sizes)),
+	}
+	for _, s := range sizes {
+		pt, err := RunPoint(tc, strat, s, fixedVector)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s maxCS=%d on %s: %w", strat, s, tc.Trace.Name, err)
+		}
+		c.MaxCS = append(c.MaxCS, s)
+		c.Ratio = append(c.Ratio, pt.Ratio)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// CorpusSweep runs one strategy across every computation of the corpus,
+// in parallel, returning the curves ordered by computation name.
+func CorpusSweep(specs []workload.Spec, strat string, sizes []int, fixedVector, workers int) ([]*metrics.Curve, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		idx  int
+		spec workload.Spec
+	}
+	jobs := make(chan job)
+	curves := make([]*metrics.Curve, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				tc := NewTraceContext(j.spec.Generate())
+				c, err := Sweep(tc, strat, sizes, fixedVector)
+				curves[j.idx], errs[j.idx] = c, err
+			}
+		}()
+	}
+	for i, s := range specs {
+		jobs <- job{idx: i, spec: s}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(curves, func(i, j int) bool { return curves[i].Computation < curves[j].Computation })
+	return curves, nil
+}
+
+// RoundRatio trims a ratio for reporting.
+func RoundRatio(r float64) float64 { return math.Round(r*10000) / 10000 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/hct"
+)
+
+// HierarchyResult compares the two-level timestamp the paper evaluates
+// against a deeper hierarchy (Section 2.3 describes the recursive scheme)
+// on one computation.
+type HierarchyResult struct {
+	Computation string
+	Events      int
+
+	// TwoLevelInts is ints/event with one explicit level (sizes[0]) —
+	// exactly the configuration of the paper's evaluation.
+	TwoLevelInts float64
+	// TwoLevelFull is the number of events needing full vectors.
+	TwoLevelFull int
+
+	// ThreeLevelInts is ints/event with two explicit levels.
+	ThreeLevelInts float64
+	// ThreeLevelFull is the number of events needing full vectors.
+	ThreeLevelFull int
+	// MidLevelEvents is the number of events stamped at the intermediate
+	// level (what would have been full vectors under two levels).
+	MidLevelEvents int
+}
+
+// CompareHierarchy measures two-level {base} vs three-level {base, mid}
+// hierarchical timestamps.
+func CompareHierarchy(tc *TraceContext, base, mid, fixedVector int) (HierarchyResult, error) {
+	tr := tc.Trace
+	out := HierarchyResult{Computation: tr.Name, Events: tr.NumEvents()}
+
+	two, err := hct.BuildHierarchy(tc.Graph(), []int{base})
+	if err != nil {
+		return out, err
+	}
+	ht2, err := hct.NewHierTimestamper(two, []int{base})
+	if err != nil {
+		return out, err
+	}
+	if err := ht2.ObserveAll(tr); err != nil {
+		return out, err
+	}
+	out.TwoLevelInts = float64(ht2.StorageInts(fixedVector)) / float64(tr.NumEvents())
+	_, out.TwoLevelFull = ht2.LevelCounts()
+
+	three, err := hct.BuildHierarchy(tc.Graph(), []int{base, mid})
+	if err != nil {
+		return out, err
+	}
+	ht3, err := hct.NewHierTimestamper(three, []int{base, mid})
+	if err != nil {
+		return out, err
+	}
+	if err := ht3.ObserveAll(tr); err != nil {
+		return out, err
+	}
+	out.ThreeLevelInts = float64(ht3.StorageInts(fixedVector)) / float64(tr.NumEvents())
+	perLevel, full := ht3.LevelCounts()
+	out.ThreeLevelFull = full
+	if len(perLevel) > 1 {
+		out.MidLevelEvents = perLevel[1]
+	}
+	return out, nil
+}
+
+// FormatHierarchy renders one comparison row.
+func FormatHierarchy(r HierarchyResult) string {
+	return fmt.Sprintf("%-22s ints/event: two-level %.1f (%d full)  three-level %.1f (%d full, %d mid-level)\n",
+		r.Computation, r.TwoLevelInts, r.TwoLevelFull, r.ThreeLevelInts, r.ThreeLevelFull, r.MidLevelEvents)
+}

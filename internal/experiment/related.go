@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hct"
+	"repro/internal/related"
+	"repro/internal/strategy"
+)
+
+// RelatedResult compares the space-reduction alternatives of Section 2.4 on
+// one computation: storage per event (in integers) and the query-cost
+// characteristics that motivate the cluster timestamp's design point.
+type RelatedResult struct {
+	Computation string
+	Events      int
+
+	// Storage per event, in integer units.
+	FMInts           float64 // the fixed encoding vector
+	ClusterInts      float64 // static clustering at the given maxCS
+	DifferentialInts float64
+	DirectDepInts    float64
+
+	// DifferentialFactor is full-vector ints / diff ints (paper: <= ~3).
+	DifferentialFactor float64
+	// DirectDepSearch is the number of events a long-range
+	// direct-dependency precedence query visited (paper: worst case
+	// linear in the number of messages).
+	DirectDepSearch int
+
+	// CachedInts is the checkpoint storage per event of the POET/OLT
+	// compute-on-demand scheme (Section 1.1's status quo), and
+	// CachedReplay the events a long-range query replayed.
+	CachedInts   float64
+	CachedReplay int
+}
+
+// CompareRelated measures all encodings on one computation.
+func CompareRelated(tc *TraceContext, maxCS, fixedVector int) (RelatedResult, error) {
+	tr := tc.Trace
+	out := RelatedResult{Computation: tr.Name, Events: tr.NumEvents(), FMInts: float64(fixedVector)}
+
+	// Cluster timestamps under the static greedy clustering.
+	groups := strategy.StaticGreedy(tc.Graph(), maxCS)
+	part, err := cluster.NewFromGroups(tr.NumProcs, groups)
+	if err != nil {
+		return out, fmt.Errorf("experiment: related comparison: %w", err)
+	}
+	res, err := hct.ResultOf(tr, hct.Config{MaxClusterSize: maxCS, Partition: part})
+	if err != nil {
+		return out, err
+	}
+	out.ClusterInts = res.AverageRatio(fixedVector) * float64(fixedVector)
+
+	// Differential encoding.
+	diff, err := related.FromTrace(tr)
+	if err != nil {
+		return out, err
+	}
+	out.DifferentialInts = float64(diff.StorageInts()) / float64(diff.Events())
+	out.DifferentialFactor = diff.CompressionFactor()
+
+	// Direct-dependency vectors.
+	dd := related.NewDirectDependency(tr.NumProcs)
+	dd.ObserveAll(tr)
+	out.DirectDepInts = float64(dd.StorageInts()) / float64(dd.Events())
+	first := tr.Events[0].ID
+	last := tr.Events[len(tr.Events)-1].ID
+	if _, err := dd.Precedes(first, last); err != nil {
+		return out, err
+	}
+	out.DirectDepSearch = dd.LastSearchVisited()
+
+	// The POET/OLT compute-on-demand baseline, checkpointing every 4096
+	// events (a plausible cache size).
+	cached, err := related.NewCachedFM(tr, 4096)
+	if err != nil {
+		return out, err
+	}
+	out.CachedInts = float64(cached.StorageInts()) / float64(cached.Events())
+	if _, err := cached.Precedes(first, last); err != nil {
+		return out, err
+	}
+	out.CachedReplay = cached.LastReplayed()
+
+	return out, nil
+}
+
+// FormatRelated renders one comparison row.
+func FormatRelated(r RelatedResult) string {
+	return fmt.Sprintf("%-22s ints/event: FM %.0f  cluster %.1f  differential %.1f (factor %.1f)  direct-dep %.1f (long query visits %d events)  compute-on-demand %.1f (long query replays %d events)\n",
+		r.Computation, r.FMInts, r.ClusterInts, r.DifferentialInts, r.DifferentialFactor,
+		r.DirectDepInts, r.DirectDepSearch, r.CachedInts, r.CachedReplay)
+}

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// StaticAnalysis is the corpus-wide summary for the static clustering
+// algorithm (the paper's first and second claims, T1/T2).
+type StaticAnalysis struct {
+	// Window1 is the widest contiguous maxCS range in which at most one
+	// computation falls outside 20% of its best (paper: [9,17]).
+	Window1   metrics.Window
+	Window1OK bool
+	// IdealSizes are the maxCS values at which *every* computation is
+	// within 20% of its best (paper: 13 and 14).
+	IdealSizes []int
+	// PerSizeViolations maps maxCS -> number of computations outside 20%.
+	PerSizeViolations map[int]int
+}
+
+// AnalyzeStatic computes T1/T2 from the static strategy's corpus curves.
+func AnalyzeStatic(curves []*metrics.Curve) StaticAnalysis {
+	a := StaticAnalysis{PerSizeViolations: metrics.ViolationCounts(curves, metrics.DefaultFactor)}
+	a.Window1, a.Window1OK = metrics.BestWindow(curves, metrics.DefaultFactor, 1)
+	for _, s := range sortedSizes(a.PerSizeViolations) {
+		if a.PerSizeViolations[s] == 0 {
+			a.IdealSizes = append(a.IdealSizes, s)
+		}
+	}
+	return a
+}
+
+// Merge1stAnalysis is the corpus-wide summary for merge-on-1st (T3).
+type Merge1stAnalysis struct {
+	// BestSize is the single maxCS covering the most computations.
+	BestSize int
+	// BestCoverage is the fraction of computations within 20% of their
+	// best at BestSize. The paper observed this never reaches 80% for
+	// merge-on-1st.
+	BestCoverage float64
+	// IdealWindowOK reports whether any maxCS covers every computation.
+	IdealWindowOK bool
+}
+
+// AnalyzeMerge1st computes T3 from the merge-on-1st corpus curves.
+func AnalyzeMerge1st(curves []*metrics.Curve) Merge1stAnalysis {
+	best, cov := metrics.MaxCoverage(curves, metrics.DefaultFactor)
+	_, ok := metrics.BestWindow(curves, metrics.DefaultFactor, 0)
+	return Merge1stAnalysis{BestSize: best, BestCoverage: cov, IdealWindowOK: ok}
+}
+
+// NthAnalysis is the corpus-wide summary for merge-on-Nth at threshold 10
+// (T4).
+type NthAnalysis struct {
+	// Window2 is the widest contiguous maxCS range in which at most two
+	// computations fall outside 20% of their best (paper: [22,24]).
+	Window2   metrics.Window
+	Window2OK bool
+	// Violators lists the computations outside 20% anywhere in Window2,
+	// with their worst ratio across the window.
+	Violators []NthViolator
+	// AllViolatorsUnderThird reports whether every violator's ratio in
+	// the window stays below one third of Fidge/Mattern (the paper's
+	// fallback observation).
+	AllViolatorsUnderThird bool
+}
+
+// NthViolator is one computation outside the 20% bar in the chosen window.
+type NthViolator struct {
+	Computation string
+	WorstRatio  float64
+	BestRatio   float64
+}
+
+// AnalyzeNth computes T4 from the merge-on-Nth(10) corpus curves.
+func AnalyzeNth(curves []*metrics.Curve) NthAnalysis {
+	a := NthAnalysis{}
+	a.Window2, a.Window2OK = metrics.BestWindow(curves, metrics.DefaultFactor, 2)
+	if !a.Window2OK {
+		return a
+	}
+	seen := map[string]*NthViolator{}
+	for s := a.Window2.Lo; s <= a.Window2.Hi; s++ {
+		for _, c := range metrics.Violators(curves, s, metrics.DefaultFactor) {
+			r, _ := c.At(s)
+			_, best := c.Best()
+			v, ok := seen[c.Computation]
+			if !ok {
+				v = &NthViolator{Computation: c.Computation, WorstRatio: r, BestRatio: best}
+				seen[c.Computation] = v
+			} else if r > v.WorstRatio {
+				v.WorstRatio = r
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	a.AllViolatorsUnderThird = true
+	for _, n := range names {
+		a.Violators = append(a.Violators, *seen[n])
+		if seen[n].WorstRatio >= 1.0/3.0 {
+			a.AllViolatorsUnderThird = false
+		}
+	}
+	return a
+}
+
+// AblationAnalysis compares a baseline clustering against the static greedy
+// algorithm corpus-wide (A1: k-medoid / k-means lopsidedness; A2: fixed
+// contiguous clusters).
+type AblationAnalysis struct {
+	Strategy string
+	// MeanBestRatio is the mean over computations of the best ratio the
+	// strategy achieves anywhere in the sweep.
+	MeanBestRatio float64
+	// MeanBestRatioStatic is the same for the static greedy algorithm.
+	MeanBestRatioStatic float64
+	// WorseCount is the number of computations where the baseline's best
+	// is worse than static's best by more than 10%.
+	WorseCount int
+	// Computations is the corpus size compared.
+	Computations int
+}
+
+// AnalyzeAblation compares baseline curves against static curves (matched by
+// computation name).
+func AnalyzeAblation(name string, baseline, static []*metrics.Curve) AblationAnalysis {
+	byName := map[string]*metrics.Curve{}
+	for _, c := range static {
+		byName[c.Computation] = c
+	}
+	a := AblationAnalysis{Strategy: name}
+	for _, c := range baseline {
+		s, ok := byName[c.Computation]
+		if !ok {
+			continue
+		}
+		_, bb := c.Best()
+		_, sb := s.Best()
+		a.MeanBestRatio += bb
+		a.MeanBestRatioStatic += sb
+		if bb > sb*1.1 {
+			a.WorseCount++
+		}
+		a.Computations++
+	}
+	if a.Computations > 0 {
+		a.MeanBestRatio /= float64(a.Computations)
+		a.MeanBestRatioStatic /= float64(a.Computations)
+	}
+	return a
+}
+
+func sortedSizes(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatStatic renders the T1/T2 report.
+func FormatStatic(a StaticAnalysis) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T1  static clustering, corpus-wide (within 20%% of per-computation best)\n")
+	if a.Window1OK {
+		fmt.Fprintf(&sb, "    widest maxCS window with <=1 computation outside: %v (paper: [9,17])\n", a.Window1)
+	} else {
+		fmt.Fprintf(&sb, "    no maxCS window with <=1 computation outside (paper found [9,17])\n")
+	}
+	fmt.Fprintf(&sb, "T2  maxCS values covering ALL computations: %v (paper: 13, 14)\n", a.IdealSizes)
+	return sb.String()
+}
+
+// FormatMerge1st renders the T3 report.
+func FormatMerge1st(a Merge1stAnalysis) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T3  merge-on-1st-communication, corpus-wide\n")
+	fmt.Fprintf(&sb, "    best single maxCS %d covers %.0f%% of computations (paper: <80%% for any size)\n",
+		a.BestSize, a.BestCoverage*100)
+	fmt.Fprintf(&sb, "    some maxCS covers all computations: %v (paper: none)\n", a.IdealWindowOK)
+	return sb.String()
+}
+
+// FormatNth renders the T4 report.
+func FormatNth(a NthAnalysis) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T4  merge-on-Nth-communication (normalized CR > 10), corpus-wide\n")
+	if !a.Window2OK {
+		fmt.Fprintf(&sb, "    no maxCS window with <=2 computations outside 20%% (paper found [22,24])\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "    widest maxCS window with <=2 computations outside: %v (paper: [22,24])\n", a.Window2)
+	fmt.Fprintf(&sb, "    computations outside the bar in that window: %d\n", len(a.Violators))
+	for _, v := range a.Violators {
+		fmt.Fprintf(&sb, "      %-24s worst ratio %.3f (best %.3f)\n", v.Computation, v.WorstRatio, v.BestRatio)
+	}
+	fmt.Fprintf(&sb, "    all violators still under 1/3 of Fidge/Mattern: %v (paper: yes)\n", a.AllViolatorsUnderThird)
+	return sb.String()
+}
+
+// FormatAblation renders an A1/A2 report line.
+func FormatAblation(a AblationAnalysis) string {
+	return fmt.Sprintf("%-12s mean best ratio %.3f vs static %.3f; worse than static by >10%% on %d/%d computations\n",
+		a.Strategy, a.MeanBestRatio, a.MeanBestRatioStatic, a.WorseCount, a.Computations)
+}

@@ -1,0 +1,193 @@
+package hct
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/commgraph"
+	"repro/internal/fm"
+	"repro/internal/model"
+	"repro/internal/strategy"
+)
+
+// BatchTimestamper implements the first future-work variant of Section 5 of
+// the paper: collect a significant number of events before performing a
+// static clustering and subsequent timestamp operation.
+//
+// The first BatchSize events are stamped with full Fidge/Mattern vectors
+// (the "mechanism for precedence determination for those events that have
+// yet to receive a cluster timestamp" the paper calls for — their vectors
+// are simply kept). Once the batch is full, the static greedy clustering of
+// Figure 3 is run over the communication observed so far and installed as
+// the partition; subsequent events receive ordinary cluster timestamps, with
+// an optional dynamic Decider still allowed to merge clusters for
+// communication the prefix did not predict.
+//
+// Precedence uses the epoch-agnostic recursive test, which remains exact
+// across the batch boundary.
+type BatchTimestamper struct {
+	numProcs int
+	cfg      BatchConfig
+	fmts     *fm.Timestamper
+	graph    *commgraph.Graph
+
+	part     *cluster.Partition // nil until the batch closes
+	stamps   map[model.EventID]*Timestamp
+	events   int
+	prefix   int
+	crEvents int
+	merged   int
+}
+
+// BatchConfig parameterizes a BatchTimestamper.
+type BatchConfig struct {
+	// MaxClusterSize is the cluster-size bound (maxCS).
+	MaxClusterSize int
+	// BatchSize is the number of events stamped with full vectors before
+	// the static clustering runs.
+	BatchSize int
+	// Decider optionally merges clusters dynamically after the batch;
+	// nil freezes the static clustering.
+	Decider strategy.Decider
+}
+
+// NewBatchTimestamper returns a batch timestamper over numProcs processes.
+func NewBatchTimestamper(numProcs int, cfg BatchConfig) (*BatchTimestamper, error) {
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("%w: numProcs=%d", ErrBadConfig, numProcs)
+	}
+	if cfg.MaxClusterSize < 1 {
+		return nil, fmt.Errorf("%w: MaxClusterSize=%d", ErrBadConfig, cfg.MaxClusterSize)
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("%w: BatchSize=%d", ErrBadConfig, cfg.BatchSize)
+	}
+	if cfg.Decider == nil {
+		cfg.Decider = strategy.NewNever()
+	}
+	return &BatchTimestamper{
+		numProcs: numProcs,
+		cfg:      cfg,
+		fmts:     fm.NewTimestamper(numProcs),
+		graph:    commgraph.New(numProcs),
+		stamps:   make(map[model.EventID]*Timestamp),
+	}, nil
+}
+
+// Clustered reports whether the batch has closed and the static clustering
+// is installed.
+func (bt *BatchTimestamper) Clustered() bool { return bt.part != nil }
+
+// Partition returns the installed partition, or nil during the batch.
+func (bt *BatchTimestamper) Partition() *cluster.Partition { return bt.part }
+
+// Events returns the number of events stamped.
+func (bt *BatchTimestamper) Events() int { return bt.events }
+
+// PrefixEvents returns how many events were stamped with full vectors
+// before the clustering ran.
+func (bt *BatchTimestamper) PrefixEvents() int { return bt.prefix }
+
+// ClusterReceives returns the number of noted cluster receives after the
+// batch closed (prefix events are not counted: they keep full vectors by
+// design, not because clustering failed).
+func (bt *BatchTimestamper) ClusterReceives() int { return bt.crEvents }
+
+// Observe ingests the next event in delivery order.
+func (bt *BatchTimestamper) Observe(e model.Event) ([]*Timestamp, error) {
+	stamped, err := bt.fmts.Observe(e)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Timestamp, 0, len(stamped))
+	for _, st := range stamped {
+		bt.events++
+		if e2 := st.Event; e2.Kind.IsReceive() && e2.HasPartner() {
+			bt.graph.Add(int32(e2.ID.Process), int32(e2.Partner.Process), 1)
+		}
+		t := &Timestamp{ID: st.Event.ID, Kind: st.Event.Kind, Partner: st.Event.Partner}
+		if bt.part == nil {
+			// Batch phase: full Fidge/Mattern timestamp.
+			t.Full = st.Clock
+			bt.prefix++
+			bt.stamps[t.ID] = t
+			out = append(out, t)
+			if bt.prefix >= bt.cfg.BatchSize {
+				bt.install()
+			}
+			continue
+		}
+		// Clustered phase: standard cluster-receive handling.
+		p := int32(st.Event.ID.Process)
+		own := bt.part.ClusterOf(p)
+		isCR := st.Event.Kind.IsReceive() && !own.Contains(int32(st.Event.Partner.Process))
+		if isCR {
+			other := bt.part.ClusterOf(int32(st.Event.Partner.Process))
+			sizeOK := own.Size()+other.Size() <= bt.cfg.MaxClusterSize
+			if bt.cfg.Decider.OnClusterReceive(own.ID, other.ID, own.Size(), other.Size(), sizeOK) {
+				if !sizeOK {
+					panic(fmt.Sprintf("hct: decider %s merged past the size bound", bt.cfg.Decider.Name()))
+				}
+				merged := bt.part.Merge(own.ID, other.ID)
+				bt.cfg.Decider.OnMerge(own.ID, other.ID, merged.ID)
+				own = merged
+				bt.merged++
+				isCR = false
+			}
+		}
+		if isCR {
+			t.Full = st.Clock
+			bt.crEvents++
+		} else {
+			t.Cluster = own
+			t.Proj = st.Clock.Project(own.Members)
+		}
+		bt.stamps[t.ID] = t
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// install closes the batch: the static greedy clustering over the observed
+// communication becomes the partition.
+func (bt *BatchTimestamper) install() {
+	groups := strategy.StaticGreedy(bt.graph, bt.cfg.MaxClusterSize)
+	part, err := cluster.NewFromGroups(bt.numProcs, groups)
+	if err != nil {
+		// StaticGreedy returns a complete partition by construction.
+		panic(fmt.Sprintf("hct: batch clustering produced invalid partition: %v", err))
+	}
+	bt.part = part
+}
+
+// ObserveAll stamps an entire trace.
+func (bt *BatchTimestamper) ObserveAll(tr *model.Trace) error {
+	for _, e := range tr.Events {
+		if _, err := bt.Observe(e); err != nil {
+			return fmt.Errorf("hct: at event %v: %w", e.ID, err)
+		}
+	}
+	return bt.fmts.Flush()
+}
+
+// Timestamp returns the stored timestamp of an event.
+func (bt *BatchTimestamper) Timestamp(id model.EventID) (*Timestamp, bool) {
+	t, ok := bt.stamps[id]
+	return t, ok
+}
+
+// Precedes answers a happened-before query; exact across the batch
+// boundary.
+func (bt *BatchTimestamper) Precedes(e, f model.EventID) (bool, error) {
+	return recursivePrecedes(bt, e, f)
+}
+
+// StorageInts totals the stored timestamp sizes under the fixed-vector
+// encoding.
+func (bt *BatchTimestamper) StorageInts(fixedVector int) int64 {
+	var total int64
+	for _, t := range bt.stamps {
+		total += int64(t.StorageInts(fixedVector, bt.cfg.MaxClusterSize))
+	}
+	return total
+}

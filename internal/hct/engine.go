@@ -1,0 +1,263 @@
+package hct
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fm"
+	"repro/internal/model"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes a cluster-timestamp run.
+type Config struct {
+	// MaxClusterSize bounds the size of any cluster (the paper's maxCS,
+	// the single tunable parameter of every strategy under comparison).
+	MaxClusterSize int
+	// Partition is the initial clustering. Nil means one singleton
+	// cluster per process (the dynamic strategies' starting point).
+	// Static strategies pass a precomputed partition here.
+	Partition *cluster.Partition
+	// Decider directs merging on cluster receives. Nil means never merge
+	// (static clusterings).
+	Decider strategy.Decider
+}
+
+// Errors returned by the engine.
+var (
+	ErrUnknownEvent = errors.New("hct: event has no timestamp")
+	ErrBadConfig    = errors.New("hct: invalid configuration")
+)
+
+// crNote records a noted (non-merged) cluster receive of one process: the
+// paper's "greatest cluster receive within this process at this point".
+// Notes are appended in event-index order, so the slice is sorted.
+type crNote struct {
+	index int32
+	clock vclock.Clock
+}
+
+// Timestamper computes hierarchical cluster timestamps for an event stream
+// and answers precedence queries over the stamped events.
+//
+// Internally it runs the central Fidge/Mattern computation (whose transient
+// state is bounded: per-process frontiers plus in-flight sends) and converts
+// each finalized Fidge/Mattern vector into a cluster timestamp, merging
+// clusters as directed by the strategy. Full Fidge/Mattern vectors are
+// retained only for noted cluster receives — the algorithm "deletes
+// Fidge/Mattern timestamps that are no longer needed".
+//
+// Timestamper is not safe for concurrent use.
+type Timestamper struct {
+	numProcs int
+	cfg      Config
+	fmts     *fm.Timestamper
+	part     *cluster.Partition
+
+	stamps map[model.EventID]*Timestamp
+	crs    [][]crNote // per process, sorted by event index
+
+	events    int
+	crEvents  int
+	mergedCRs int
+}
+
+// NewTimestamper returns a timestamper over numProcs processes.
+func NewTimestamper(numProcs int, cfg Config) (*Timestamper, error) {
+	if numProcs <= 0 {
+		return nil, fmt.Errorf("%w: numProcs=%d", ErrBadConfig, numProcs)
+	}
+	if cfg.MaxClusterSize < 1 {
+		return nil, fmt.Errorf("%w: MaxClusterSize=%d", ErrBadConfig, cfg.MaxClusterSize)
+	}
+	part := cfg.Partition
+	if part == nil {
+		part = cluster.NewSingletons(numProcs)
+	}
+	if part.NumProcs() != numProcs {
+		return nil, fmt.Errorf("%w: partition covers %d processes, want %d", ErrBadConfig, part.NumProcs(), numProcs)
+	}
+	if cfg.Decider == nil {
+		cfg.Decider = strategy.NewNever()
+	}
+	return &Timestamper{
+		numProcs: numProcs,
+		cfg:      cfg,
+		fmts:     fm.NewTimestamper(numProcs),
+		part:     part,
+		stamps:   make(map[model.EventID]*Timestamp),
+		crs:      make([][]crNote, numProcs),
+	}, nil
+}
+
+// NumProcs returns the number of processes.
+func (ts *Timestamper) NumProcs() int { return ts.numProcs }
+
+// Events returns the number of events stamped so far.
+func (ts *Timestamper) Events() int { return ts.events }
+
+// ClusterReceives returns the number of noted (non-merged) cluster receives.
+func (ts *Timestamper) ClusterReceives() int { return ts.crEvents }
+
+// MergedClusterReceives returns the number of cluster receives that
+// triggered a merge and were therefore stamped with a projection.
+func (ts *Timestamper) MergedClusterReceives() int { return ts.mergedCRs }
+
+// Partition exposes the live partition (read-only use only).
+func (ts *Timestamper) Partition() *cluster.Partition { return ts.part }
+
+// Observe ingests the next event in delivery order and returns the
+// timestamps finalized by it (two for the completion of a synchronous pair,
+// zero for its first half, one otherwise).
+func (ts *Timestamper) Observe(e model.Event) ([]*Timestamp, error) {
+	stamped, err := ts.fmts.Observe(e)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Timestamp, 0, len(stamped))
+	for _, st := range stamped {
+		out = append(out, ts.assign(st.Event, st.Clock))
+	}
+	return out, nil
+}
+
+// assign converts a finalized Fidge/Mattern timestamp into a cluster
+// timestamp, performing the cluster-receive handling of Section 2.3.
+func (ts *Timestamper) assign(e model.Event, clk vclock.Clock) *Timestamp {
+	ts.events++
+	p := int32(e.ID.Process)
+	t := &Timestamp{ID: e.ID, Kind: e.Kind, Partner: e.Partner}
+
+	own := ts.part.ClusterOf(p)
+	isCR := e.Kind.IsReceive() && !own.Contains(int32(e.Partner.Process))
+	if isCR {
+		other := ts.part.ClusterOf(int32(e.Partner.Process))
+		sizeOK := own.Size()+other.Size() <= ts.cfg.MaxClusterSize
+		if ts.cfg.Decider.OnClusterReceive(own.ID, other.ID, own.Size(), other.Size(), sizeOK) {
+			if !sizeOK {
+				panic(fmt.Sprintf("hct: decider %s merged past the size bound", ts.cfg.Decider.Name()))
+			}
+			merged := ts.part.Merge(own.ID, other.ID)
+			ts.cfg.Decider.OnMerge(own.ID, other.ID, merged.ID)
+			own = merged
+			ts.mergedCRs++
+			isCR = false
+		}
+	}
+
+	if isCR {
+		t.Full = clk // fm returns caller-owned clocks; safe to retain
+		ts.crs[p] = append(ts.crs[p], crNote{index: int32(e.ID.Index), clock: t.Full})
+		ts.crEvents++
+	} else {
+		t.Cluster = own
+		t.Proj = clk.Project(own.Members)
+	}
+	ts.stamps[e.ID] = t
+	return t
+}
+
+// ObserveAll stamps an entire trace.
+func (ts *Timestamper) ObserveAll(tr *model.Trace) error {
+	for _, e := range tr.Events {
+		if _, err := ts.Observe(e); err != nil {
+			return fmt.Errorf("hct: at event %v: %w", e.ID, err)
+		}
+	}
+	return ts.fmts.Flush()
+}
+
+// Timestamp returns the stored timestamp of an event.
+func (ts *Timestamper) Timestamp(id model.EventID) (*Timestamp, bool) {
+	t, ok := ts.stamps[id]
+	return t, ok
+}
+
+// latestCRAtOrBelow returns the greatest noted cluster receive of process p
+// with event index <= bound, or nil.
+func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
+	notes := ts.crs[p]
+	// First note with index > bound.
+	i := sort.Search(len(notes), func(k int) bool { return notes[k].index > bound })
+	if i == 0 {
+		return nil
+	}
+	return &notes[i-1]
+}
+
+// Precedes reports whether event e happened before event f, using only
+// cluster timestamps and the per-process cluster-receive notes.
+//
+// The test needs just FM(e)[pe] — which is e's own event index — and
+// FM(f)[pe]. If f holds a full vector, or pe lies inside f's cluster epoch,
+// FM(f)[pe] is read directly. Otherwise any causal path from e into f's
+// cluster must pass through a noted cluster receive on one of the cluster's
+// processes, so the test consults, for each member process q, the greatest
+// noted cluster receive g of q with g's index <= FM(f)[q]: e precedes f iff
+// some such g knows at least e.Index events of pe.
+func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
+	if e == f {
+		return false, nil
+	}
+	te, ok := ts.stamps[e]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrUnknownEvent, e)
+	}
+	tf, ok := ts.stamps[f]
+	if !ok {
+		return false, fmt.Errorf("%w: %v", ErrUnknownEvent, f)
+	}
+	// The two halves of a synchronous pair carry identical vectors but
+	// are mutually concurrent.
+	if te.Kind == model.Sync && te.Partner == f {
+		return false, nil
+	}
+	eIdx := int32(e.Index)
+
+	if v, ok := tf.Component(e.Process); ok {
+		return v >= eIdx, nil
+	}
+
+	// pe outside f's cluster epoch: route through noted cluster receives.
+	c := tf.Cluster
+	for k, q := range c.Members {
+		g := ts.latestCRAtOrBelow(q, tf.Proj[k])
+		if g != nil && g.clock[e.Process] >= eIdx {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Concurrent reports whether neither event precedes the other.
+func (ts *Timestamper) Concurrent(e, f model.EventID) (bool, error) {
+	if e == f {
+		return false, nil
+	}
+	ef, err := ts.Precedes(e, f)
+	if err != nil {
+		return false, err
+	}
+	if ef {
+		return false, nil
+	}
+	fe, err := ts.Precedes(f, e)
+	if err != nil {
+		return false, err
+	}
+	return !fe, nil
+}
+
+// StorageInts returns the total vector elements occupied by all stored
+// timestamps under the fixed-size-vector encoding (see
+// Timestamp.StorageInts).
+func (ts *Timestamper) StorageInts(fixedVector int) int64 {
+	var total int64
+	for _, t := range ts.stamps {
+		total += int64(t.StorageInts(fixedVector, ts.cfg.MaxClusterSize))
+	}
+	return total
+}

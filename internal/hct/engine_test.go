@@ -1,0 +1,381 @@
+package hct
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/strategy"
+)
+
+func mustTimestamper(t *testing.T, n int, cfg Config) *Timestamper {
+	t.Helper()
+	ts, err := NewTimestamper(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func staticPartition(t *testing.T, n int, groups [][]int32) *cluster.Partition {
+	t.Helper()
+	p, err := cluster.NewFromGroups(n, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// crossClusterTrace: processes {0,1} in one cluster, {2,3} in another.
+// Intra-cluster messages plus one cross-cluster message 1 -> 2.
+func crossClusterTrace(t *testing.T) *model.Trace {
+	t.Helper()
+	b := model.NewBuilder("cross", 4)
+	b.Message(0, 1) // intra
+	b.Message(2, 3) // intra
+	b.Message(1, 2) // cross: receive on p2 is a cluster receive
+	b.Message(3, 2) // intra
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStaticClustersProjectionAndCR(t *testing.T) {
+	tr := crossClusterTrace(t)
+	part := staticPartition(t, 4, [][]int32{{0, 1}, {2, 3}})
+	ts := mustTimestamper(t, 4, Config{MaxClusterSize: 2, Partition: part})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Events() != tr.NumEvents() {
+		t.Fatalf("Events = %d, want %d", ts.Events(), tr.NumEvents())
+	}
+	if ts.ClusterReceives() != 1 {
+		t.Fatalf("ClusterReceives = %d, want 1", ts.ClusterReceives())
+	}
+	if ts.MergedClusterReceives() != 0 {
+		t.Fatalf("MergedClusterReceives = %d, want 0", ts.MergedClusterReceives())
+	}
+
+	// The cross-cluster receive is p2:2 (after its intra send p2:1).
+	cr, ok := ts.Timestamp(model.EventID{Process: 2, Index: 2})
+	if !ok {
+		t.Fatal("missing CR timestamp")
+	}
+	if !cr.IsClusterReceive() {
+		t.Fatalf("cross receive not a cluster receive: %v", cr)
+	}
+	// Its full vector: it knows p0's single event via p1, both p1 events,
+	// its own two events, and nothing of p3.
+	wantFull := []int32{1, 2, 2, 0}
+	for i, w := range wantFull {
+		if cr.Full[i] != w {
+			t.Fatalf("CR full = %v, want %v", cr.Full, wantFull)
+		}
+	}
+
+	// An intra-cluster event keeps a projection of width 2.
+	pr, ok := ts.Timestamp(model.EventID{Process: 1, Index: 1})
+	if !ok || pr.IsClusterReceive() {
+		t.Fatalf("intra receive mis-stamped: %v", pr)
+	}
+	if len(pr.Proj) != 2 || pr.Cluster.Size() != 2 {
+		t.Fatalf("projection = %v over %v", pr.Proj, pr.Cluster)
+	}
+	// Proj over {0,1}: p0 sent one event, p1 has one event.
+	if pr.Proj[0] != 1 || pr.Proj[1] != 1 {
+		t.Fatalf("projection values = %v", pr.Proj)
+	}
+	// Component lookups.
+	if v, ok := pr.Component(0); !ok || v != 1 {
+		t.Fatalf("Component(0) = %d,%v", v, ok)
+	}
+	if _, ok := pr.Component(3); ok {
+		t.Fatalf("Component outside cluster succeeded")
+	}
+	if v, ok := cr.Component(1); !ok || v != 2 {
+		t.Fatalf("CR Component(1) = %d,%v", v, ok)
+	}
+	if _, ok := cr.Component(model.ProcessID(99)); ok {
+		t.Fatalf("CR Component out of range succeeded")
+	}
+	if cr.String() == "" || pr.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestMergeOnFirstMergesInsteadOfNoting(t *testing.T) {
+	tr := crossClusterTrace(t)
+	ts := mustTimestamper(t, 4, Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Every receive merges (sizes permit), so no CRs are noted.
+	if ts.ClusterReceives() != 0 {
+		t.Fatalf("ClusterReceives = %d, want 0", ts.ClusterReceives())
+	}
+	if ts.MergedClusterReceives() != 3 {
+		t.Fatalf("MergedClusterReceives = %d, want 3", ts.MergedClusterReceives())
+	}
+	if ts.Partition().NumLive() != 1 {
+		t.Fatalf("expected single merged cluster, live=%d", ts.Partition().NumLive())
+	}
+	// Merged cluster receive is stamped with a projection over the merged
+	// cluster (the event "is no longer a cluster receive").
+	mr, _ := ts.Timestamp(model.EventID{Process: 1, Index: 1})
+	if mr.IsClusterReceive() {
+		t.Fatalf("merged receive kept full vector")
+	}
+	if mr.Cluster.Size() != 2 {
+		t.Fatalf("merge epoch wrong: %v", mr.Cluster)
+	}
+}
+
+func TestMergeRespectsSizeBound(t *testing.T) {
+	tr := crossClusterTrace(t)
+	ts := mustTimestamper(t, 4, Config{MaxClusterSize: 2, Decider: strategy.NewMergeOnFirst()})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	if ts.Partition().MaxLiveSize() > 2 {
+		t.Fatalf("cluster grew past bound: %d", ts.Partition().MaxLiveSize())
+	}
+	// {0,1} and {2,3} merge; the 1->2 cross receive cannot (2+2 > 2), so
+	// it is noted.
+	if ts.ClusterReceives() != 1 {
+		t.Fatalf("ClusterReceives = %d, want 1", ts.ClusterReceives())
+	}
+}
+
+func TestSyncCrossClusterBothHalvesNoted(t *testing.T) {
+	b := model.NewBuilder("sync-cross", 4)
+	b.Sync(0, 2)
+	tr := b.Trace()
+	part := staticPartition(t, 4, [][]int32{{0, 1}, {2, 3}})
+	ts := mustTimestamper(t, 4, Config{MaxClusterSize: 2, Partition: part})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	// Both sync halves cross clusters: two noted cluster receives.
+	if ts.ClusterReceives() != 2 {
+		t.Fatalf("ClusterReceives = %d, want 2", ts.ClusterReceives())
+	}
+}
+
+func TestSyncCrossClusterMergeMakesSecondHalfIntra(t *testing.T) {
+	b := model.NewBuilder("sync-merge", 2)
+	b.Sync(0, 1)
+	tr := b.Trace()
+	ts := mustTimestamper(t, 2, Config{MaxClusterSize: 2, Decider: strategy.NewMergeOnFirst()})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	// First half merges the two singletons; second half is then intra.
+	if ts.ClusterReceives() != 0 {
+		t.Fatalf("ClusterReceives = %d, want 0", ts.ClusterReceives())
+	}
+	if ts.MergedClusterReceives() != 1 {
+		t.Fatalf("MergedClusterReceives = %d, want 1", ts.MergedClusterReceives())
+	}
+}
+
+func TestPrecedesWithinCluster(t *testing.T) {
+	tr := crossClusterTrace(t)
+	part := staticPartition(t, 4, [][]int32{{0, 1}, {2, 3}})
+	ts := mustTimestamper(t, 4, Config{MaxClusterSize: 2, Partition: part})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	id := func(p, i int) model.EventID {
+		return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(i)}
+	}
+	cases := []struct {
+		e, f model.EventID
+		want bool
+	}{
+		{id(0, 1), id(1, 1), true},  // send -> receive, same cluster
+		{id(1, 1), id(0, 1), false}, // reverse
+		{id(0, 1), id(2, 2), true},  // cross cluster via CR (p2:2 receives from p1)
+		{id(0, 1), id(2, 3), true},  // and transitively to later events
+		{id(2, 1), id(0, 1), false}, // other direction: no path
+		{id(2, 1), id(3, 1), true},  // intra second cluster
+		{id(0, 1), id(3, 1), false}, // p3:1 happened before the cross message arrived
+		{id(0, 1), id(0, 1), false}, // irreflexive
+	}
+	for _, tc := range cases {
+		got, err := ts.Precedes(tc.e, tc.f)
+		if err != nil {
+			t.Fatalf("Precedes(%v,%v): %v", tc.e, tc.f, err)
+		}
+		if got != tc.want {
+			t.Errorf("Precedes(%v,%v) = %v, want %v", tc.e, tc.f, got, tc.want)
+		}
+	}
+	conc, err := ts.Concurrent(id(0, 1), id(3, 1))
+	if err != nil || !conc {
+		t.Errorf("Concurrent(p0:1,p3:1) = %v,%v", conc, err)
+	}
+	conc, err = ts.Concurrent(id(0, 1), id(1, 1))
+	if err != nil || conc {
+		t.Errorf("Concurrent(send,recv) = %v,%v", conc, err)
+	}
+	if c, _ := ts.Concurrent(id(0, 1), id(0, 1)); c {
+		t.Errorf("Concurrent must be irreflexive")
+	}
+}
+
+func TestPrecedesSyncPartnersConcurrent(t *testing.T) {
+	b := model.NewBuilder("sync", 2)
+	p, q := b.Sync(0, 1)
+	tr := b.Trace()
+	ts := mustTimestamper(t, 2, Config{MaxClusterSize: 2, Decider: strategy.NewMergeOnFirst()})
+	if err := ts.ObserveAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ts.Precedes(p, q); got {
+		t.Errorf("sync halves ordered p->q")
+	}
+	if got, _ := ts.Precedes(q, p); got {
+		t.Errorf("sync halves ordered q->p")
+	}
+}
+
+func TestPrecedesUnknownEvent(t *testing.T) {
+	ts := mustTimestamper(t, 2, Config{MaxClusterSize: 2})
+	_, err := ts.Precedes(model.EventID{Process: 0, Index: 1}, model.EventID{Process: 1, Index: 1})
+	if !errors.Is(err, ErrUnknownEvent) {
+		t.Fatalf("err = %v, want ErrUnknownEvent", err)
+	}
+	if _, err := ts.Concurrent(model.EventID{Process: 0, Index: 1}, model.EventID{Process: 1, Index: 1}); err == nil {
+		t.Fatalf("Concurrent on unknown events succeeded")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := NewTimestamper(0, Config{MaxClusterSize: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("numProcs=0 accepted: %v", err)
+	}
+	if _, err := NewTimestamper(2, Config{MaxClusterSize: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("maxCS=0 accepted: %v", err)
+	}
+	part := cluster.NewSingletons(3)
+	if _, err := NewTimestamper(2, Config{MaxClusterSize: 2, Partition: part}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("mismatched partition accepted: %v", err)
+	}
+	if _, err := NewAccountant(0, Config{MaxClusterSize: 2}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("accountant numProcs=0 accepted: %v", err)
+	}
+	if _, err := NewAccountant(2, Config{MaxClusterSize: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("accountant maxCS=0 accepted: %v", err)
+	}
+	if _, err := NewAccountant(2, Config{MaxClusterSize: 2, Partition: part}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("accountant mismatched partition accepted: %v", err)
+	}
+}
+
+func TestObserveAllPropagatesFMErrors(t *testing.T) {
+	tr := &model.Trace{NumProcs: 2, Events: []model.Event{
+		{ID: model.EventID{Process: 1, Index: 1}, Kind: model.Receive, Partner: model.EventID{Process: 0, Index: 1}},
+	}}
+	ts := mustTimestamper(t, 2, Config{MaxClusterSize: 2})
+	if err := ts.ObserveAll(tr); err == nil {
+		t.Fatalf("invalid stream accepted")
+	}
+}
+
+// randomLocalTrace generates a trace with strong neighbour locality plus
+// occasional long-range messages and syncs — the regime the timestamps
+// target.
+func randomLocalTrace(r *rand.Rand, n, events int) *model.Trace {
+	b := model.NewBuilder("randlocal", n)
+	for b.NumEvents() < events {
+		p := r.Intn(n)
+		switch {
+		case r.Float64() < 0.15:
+			b.Unary(model.ProcessID(p))
+		case r.Float64() < 0.12 && n > 2:
+			q := r.Intn(n)
+			if q == p {
+				q = (q + 1) % n
+			}
+			if r.Float64() < 0.5 {
+				b.Sync(model.ProcessID(p), model.ProcessID(q))
+			} else {
+				b.Message(model.ProcessID(p), model.ProcessID(q))
+			}
+		default:
+			q := (p + 1) % n // neighbour
+			b.Message(model.ProcessID(p), model.ProcessID(q))
+		}
+	}
+	return b.Trace()
+}
+
+func TestAccountantAgreesWithTimestamper(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + r.Intn(10)
+		tr := randomLocalTrace(r, n, 150)
+		maxCS := 1 + r.Intn(n+2)
+		for _, mk := range []func() (Config, Config){
+			func() (Config, Config) {
+				return Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnFirst()},
+					Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnFirst()}
+			},
+			func() (Config, Config) {
+				return Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnNth(1.5)},
+					Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnNth(1.5)}
+			},
+			func() (Config, Config) {
+				return Config{MaxClusterSize: maxCS}, Config{MaxClusterSize: maxCS}
+			},
+		} {
+			cfgT, cfgA := mk()
+			ts, err := NewTimestamper(n, cfgT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ts.ObserveAll(tr); err != nil {
+				t.Fatal(err)
+			}
+			res, err := ResultOf(tr, cfgA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Events != ts.Events() ||
+				res.ClusterReceives != ts.ClusterReceives() ||
+				res.MergedReceives != ts.MergedClusterReceives() ||
+				res.Merges != ts.Partition().Merges() ||
+				res.LiveClusters != ts.Partition().NumLive() {
+				t.Fatalf("trial %d (maxCS=%d): accountant %+v disagrees with timestamper (ev=%d cr=%d merged=%d merges=%d live=%d)",
+					trial, maxCS, res, ts.Events(), ts.ClusterReceives(), ts.MergedClusterReceives(), ts.Partition().Merges(), ts.Partition().NumLive())
+			}
+			// Storage identity: engine-side accounting equals the
+			// accountant's ratio formula.
+			fixed := 300
+			gotRatio := float64(ts.StorageInts(fixed)) / (float64(ts.Events()) * float64(fixed))
+			wantRatio := res.AverageRatio(fixed)
+			if diff := gotRatio - wantRatio; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("ratio mismatch: %f vs %f", gotRatio, wantRatio)
+			}
+		}
+	}
+}
+
+func TestAverageRatioEdgeCases(t *testing.T) {
+	if r := (Result{}).AverageRatio(300); r != 0 {
+		t.Fatalf("empty ratio = %f", r)
+	}
+	r := Result{Events: 10, ClusterReceives: 10, MaxClusterSize: 5}
+	if got := r.AverageRatio(300); got != 1.0 {
+		t.Fatalf("all-CR ratio = %f, want 1", got)
+	}
+	r2 := Result{Events: 10, ClusterReceives: 0, MaxClusterSize: 30}
+	if got := r2.AverageRatio(300); got != 0.1 {
+		t.Fatalf("no-CR ratio = %f, want 0.1", got)
+	}
+}

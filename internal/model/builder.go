@@ -1,0 +1,133 @@
+package model
+
+import "fmt"
+
+// Builder incrementally constructs a well-formed Trace. It assigns contiguous
+// per-process event indices and wires communication partners so the resulting
+// delivery order is a valid linear extension of the computation's partial
+// order, provided the caller invokes Receive after the corresponding Send
+// (which Receive enforces).
+//
+// Builder is the construction path used by the synthetic workload generators
+// and by tests; it is not safe for concurrent use.
+type Builder struct {
+	name   string
+	nproc  int
+	next   []EventIndex
+	events []Event
+	pos    map[EventID]int
+}
+
+// NewBuilder returns a builder for a computation with nproc processes.
+func NewBuilder(name string, nproc int) *Builder {
+	if nproc <= 0 {
+		panic(fmt.Sprintf("model: NewBuilder with nproc=%d", nproc))
+	}
+	return &Builder{
+		name:  name,
+		nproc: nproc,
+		next:  make([]EventIndex, nproc),
+		pos:   make(map[EventID]int),
+	}
+}
+
+// NumProcs returns the number of processes in the computation under
+// construction.
+func (b *Builder) NumProcs() int { return b.nproc }
+
+// NumEvents returns the number of events appended so far.
+func (b *Builder) NumEvents() int { return len(b.events) }
+
+func (b *Builder) newID(p ProcessID) EventID {
+	if int(p) < 0 || int(p) >= b.nproc {
+		panic(fmt.Sprintf("model: process %d out of range [0,%d)", p, b.nproc))
+	}
+	b.next[p]++
+	return EventID{Process: p, Index: b.next[p]}
+}
+
+func (b *Builder) append(e Event) EventID {
+	b.pos[e.ID] = len(b.events)
+	b.events = append(b.events, e)
+	return e.ID
+}
+
+// Unary appends a unary event on process p.
+func (b *Builder) Unary(p ProcessID) EventID {
+	return b.append(Event{ID: b.newID(p), Kind: Unary})
+}
+
+// Send appends a send event on process from. Its partner is wired when the
+// matching Receive is appended.
+func (b *Builder) Send(from ProcessID) EventID {
+	return b.append(Event{ID: b.newID(from), Kind: Send})
+}
+
+// Receive appends the receive matching the given send on process to, wiring
+// both partner references. It panics if send does not name a pending send
+// event or if the receive would land on the sending process.
+func (b *Builder) Receive(to ProcessID, send EventID) EventID {
+	i, ok := b.pos[send]
+	if !ok {
+		panic(fmt.Sprintf("model: Receive for unknown send %v", send))
+	}
+	se := &b.events[i]
+	if se.Kind != Send {
+		panic(fmt.Sprintf("model: Receive partner %v is %v, not a send", send, se.Kind))
+	}
+	if se.HasPartner() {
+		panic(fmt.Sprintf("model: send %v already received (by %v)", send, se.Partner))
+	}
+	if to == send.Process {
+		panic(fmt.Sprintf("model: receive on sending process %d", to))
+	}
+	id := b.newID(to)
+	se.Partner = id
+	return b.append(Event{ID: id, Kind: Receive, Partner: send})
+}
+
+// Message appends a send on from immediately followed by its receive on to,
+// returning both IDs. It is a convenience for generators that do not model
+// message latency.
+func (b *Builder) Message(from, to ProcessID) (send, recv EventID) {
+	s := b.Send(from)
+	r := b.Receive(to, s)
+	return s, r
+}
+
+// Sync appends a synchronous communication between p and q: two Sync events,
+// one on each process, partnered with each other and adjacent in delivery
+// order.
+func (b *Builder) Sync(p, q ProcessID) (onP, onQ EventID) {
+	if p == q {
+		panic(fmt.Sprintf("model: Sync within process %d", p))
+	}
+	idP := b.newID(p)
+	idQ := b.newID(q)
+	b.append(Event{ID: idP, Kind: Sync, Partner: idQ})
+	b.append(Event{ID: idQ, Kind: Sync, Partner: idP})
+	return idP, idQ
+}
+
+// PendingSends returns the IDs of sends that have not yet been received, in
+// delivery order. Generators use this to drain in-flight messages at the end
+// of a computation.
+func (b *Builder) PendingSends() []EventID {
+	var out []EventID
+	for _, e := range b.events {
+		if e.Kind == Send && !e.HasPartner() {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Trace finalizes the builder. It panics if any send is still unreceived:
+// the model requires complete partner identification, so generators must
+// drain or avoid dangling sends.
+func (b *Builder) Trace() *Trace {
+	if pend := b.PendingSends(); len(pend) > 0 {
+		panic(fmt.Sprintf("model: %d unreceived sends (first %v)", len(pend), pend[0]))
+	}
+	return &Trace{Name: b.name, NumProcs: b.nproc, Events: b.events}
+}

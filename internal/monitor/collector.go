@@ -1,0 +1,192 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Collector feeds a Monitor from concurrently-producing processes. Each
+// instrumented process reports its own events in order, but the interleaving
+// across processes is arbitrary: a receive's record may arrive at the
+// collector before the matching send's record (the network offers no global
+// ordering). The collector buffers such events and releases them to the
+// monitor as soon as they become deliverable:
+//
+//   - an event is held until it is the next event of its process;
+//   - a receive is additionally held until its matching send has been
+//     delivered;
+//   - a synchronous event is held until its partner is also at the front of
+//     its own process, whereupon both halves are delivered back to back.
+//
+// Submit may be called from many goroutines. Close drains the stream and
+// reports any stranded events (which indicate a corrupt or incomplete
+// computation).
+type Collector struct {
+	m *Monitor
+
+	mu      sync.Mutex
+	closed  bool
+	pending []map[model.EventIndex]model.Event // per process: arrived, undelivered
+	next    []model.EventIndex                 // next index to deliver per process
+	held    int
+}
+
+// NewCollector wraps a monitor for out-of-order ingestion.
+func NewCollector(m *Monitor) *Collector {
+	n := m.NumProcs()
+	pending := make([]map[model.EventIndex]model.Event, n)
+	next := make([]model.EventIndex, n)
+	for i := range pending {
+		pending[i] = make(map[model.EventIndex]model.Event)
+		next[i] = 1
+	}
+	return &Collector{m: m, pending: pending, next: next}
+}
+
+// Submit accepts one event record from a process's instrumentation and
+// delivers every event that became deliverable as a result.
+func (c *Collector) Submit(e model.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	p := int(e.ID.Process)
+	if p < 0 || p >= len(c.pending) {
+		return fmt.Errorf("monitor: event %v: process out of range", e.ID)
+	}
+	if e.ID.Index < c.next[p] {
+		return fmt.Errorf("monitor: event %v already delivered", e.ID)
+	}
+	if _, dup := c.pending[p][e.ID.Index]; dup {
+		return fmt.Errorf("monitor: duplicate submission of %v", e.ID)
+	}
+	c.pending[p][e.ID.Index] = e
+	c.held++
+	return c.drain(p)
+}
+
+// delivered reports whether the event with the given ID has been delivered.
+func (c *Collector) delivered(id model.EventID) bool {
+	return id.Index < c.next[id.Process]
+}
+
+// front returns the front event of process p, if it has arrived.
+func (c *Collector) front(p int) (model.Event, bool) {
+	e, ok := c.pending[p][c.next[p]]
+	return e, ok
+}
+
+// drain repeatedly delivers deliverable front events, starting from process
+// start and following the enablement edges (a delivered send may unblock its
+// receiver; a delivered event always may unblock its own process's next).
+func (c *Collector) drain(start int) error {
+	work := []int{start}
+	inWork := map[int]bool{start: true}
+	enqueue := func(q int) {
+		if q >= 0 && q < len(c.pending) && !inWork[q] {
+			work = append(work, q)
+			inWork[q] = true
+		}
+	}
+	for len(work) > 0 {
+		p := work[0]
+		work = work[1:]
+		delete(inWork, p)
+
+		for progress := true; progress; {
+			progress = false
+			e, ok := c.front(p)
+			if !ok {
+				break
+			}
+			switch e.Kind {
+			case model.Unary:
+				if err := c.deliver(e); err != nil {
+					return err
+				}
+				progress = true
+			case model.Send:
+				if err := c.deliver(e); err != nil {
+					return err
+				}
+				// The matching receive's process may now be unblocked.
+				enqueue(int(e.Partner.Process))
+				progress = true
+			case model.Receive:
+				// Blocked until the send is delivered; the send's
+				// delivery requeues this process.
+				if c.delivered(e.Partner) {
+					if err := c.deliver(e); err != nil {
+						return err
+					}
+					progress = true
+				}
+			case model.Sync:
+				// Deliverable only when the partner half is also at the
+				// front of its process; both halves then go back to back.
+				q := int(e.Partner.Process)
+				if partner, ok := c.front(q); ok && partner.ID == e.Partner {
+					if err := c.deliver(e); err != nil {
+						return err
+					}
+					if err := c.deliver(partner); err != nil {
+						return err
+					}
+					enqueue(q)
+					progress = true
+				}
+			default:
+				return fmt.Errorf("monitor: unknown kind %v for %v", e.Kind, e.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// deliver hands one front event to the monitor and advances the process.
+func (c *Collector) deliver(e model.Event) error {
+	p := int(e.ID.Process)
+	delete(c.pending[p], e.ID.Index)
+	c.held--
+	c.next[p]++
+	return c.m.Deliver(e)
+}
+
+// Held returns the number of buffered, undelivered events.
+func (c *Collector) Held() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.held
+}
+
+// Close marks the stream complete. If events remain buffered the stream was
+// inconsistent (e.g. a receive whose send never arrived) and Close returns
+// an error naming the stranded events.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	if c.held == 0 {
+		return nil
+	}
+	var stranded []model.EventID
+	for p := range c.pending {
+		for _, e := range c.pending[p] {
+			stranded = append(stranded, e.ID)
+		}
+	}
+	sort.Slice(stranded, func(i, j int) bool {
+		if stranded[i].Process != stranded[j].Process {
+			return stranded[i].Process < stranded[j].Process
+		}
+		return stranded[i].Index < stranded[j].Index
+	})
+	return fmt.Errorf("monitor: %d events stranded at close (first %v)", len(stranded), stranded[0])
+}

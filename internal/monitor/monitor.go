@@ -1,0 +1,128 @@
+// Package monitor implements the central monitoring entity of Figure 1 of
+// the paper: it consumes the event records emitted by the instrumented
+// processes of a parallel program, incrementally builds the partial-order
+// data structure, assigns hierarchical cluster timestamps, and answers the
+// precedence queries issued by visualization and control systems.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/poset"
+)
+
+// Monitor is the monitoring entity. Deliver ingests events in a valid
+// delivery order (a linear extension of the computation); Collector relaxes
+// that requirement for concurrent producers. Queries are safe to run
+// concurrently with each other but are serialized against ingestion.
+type Monitor struct {
+	mu    sync.RWMutex
+	store *poset.Store
+	ts    *hct.Timestamper
+}
+
+// New returns a monitor over numProcs processes with the given
+// cluster-timestamp configuration.
+func New(numProcs int, cfg hct.Config) (*Monitor, error) {
+	ts, err := hct.NewTimestamper(numProcs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{store: poset.NewStore(numProcs), ts: ts}, nil
+}
+
+// NumProcs returns the number of monitored processes.
+func (m *Monitor) NumProcs() int {
+	return m.store.NumProcs()
+}
+
+// Deliver ingests the next event in delivery order: it is appended to the
+// partial-order store and timestamped.
+func (m *Monitor) Deliver(e model.Event) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.store.Append(e); err != nil {
+		return err
+	}
+	if _, err := m.ts.Observe(e); err != nil {
+		return err
+	}
+	return nil
+}
+
+// DeliverAll ingests a whole trace.
+func (m *Monitor) DeliverAll(t *model.Trace) error {
+	for _, e := range t.Events {
+		if err := m.Deliver(e); err != nil {
+			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// Precedes answers a happened-before query from the stored cluster
+// timestamps.
+func (m *Monitor) Precedes(e, f model.EventID) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ts.Precedes(e, f)
+}
+
+// Concurrent reports whether two events are concurrent.
+func (m *Monitor) Concurrent(e, f model.EventID) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ts.Concurrent(e, f)
+}
+
+// Timestamp returns the stored timestamp of an event.
+func (m *Monitor) Timestamp(id model.EventID) (*hct.Timestamp, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ts.Timestamp(id)
+}
+
+// Lookup fetches an event from the partial-order store by ID.
+func (m *Monitor) Lookup(id model.EventID) (model.Event, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.store.Get(id)
+	if !ok {
+		return model.Event{}, false
+	}
+	return n.Event, true
+}
+
+// GreatestConcurrent... and richer query surfaces live with the callers;
+// Stats summarizes the monitor state for dashboards and tests.
+type Stats struct {
+	Events          int
+	ClusterReceives int
+	MergedReceives  int
+	LiveClusters    int
+	MaxLiveCluster  int
+	StorageInts     int64
+	PendingSends    int
+}
+
+// Stats returns a snapshot of the monitor's accounting.
+func (m *Monitor) Stats(fixedVector int) Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Stats{
+		Events:          m.ts.Events(),
+		ClusterReceives: m.ts.ClusterReceives(),
+		MergedReceives:  m.ts.MergedClusterReceives(),
+		LiveClusters:    m.ts.Partition().NumLive(),
+		MaxLiveCluster:  m.ts.Partition().MaxLiveSize(),
+		StorageInts:     m.ts.StorageInts(fixedVector),
+		PendingSends:    m.store.PendingSends(),
+	}
+}
+
+// ErrClosed is returned by Collector.Submit after Close.
+var ErrClosed = errors.New("monitor: collector closed")

@@ -1,0 +1,123 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// This file implements the compound queries visualization engines issue
+// against the partial-order data structure. Section 1.1 of the paper uses
+// "computing the greatest concurrent elements of an event" as its running
+// example: under stored Fidge/Mattern vectors that one operation read ~12000
+// virtual-memory pages. Under cluster timestamps the per-pair precedence
+// test is cheap, and the compound queries below reduce to a logarithmic
+// number of such tests per process.
+
+// CutEntry describes one process's position in a causal cut relative to a
+// query event: the index of the relevant event, or 0 if no event of that
+// process qualifies.
+type CutEntry struct {
+	Process model.ProcessID
+	Index   model.EventIndex
+}
+
+// eventCount returns the number of delivered events of process q.
+func (m *Monitor) eventCount(q model.ProcessID) model.EventIndex {
+	n := m.store.Frontier(q)
+	if n == nil {
+		return 0
+	}
+	return n.Event.ID.Index
+}
+
+// GreatestPredecessors returns, for each process, the latest event that
+// happened before e (index 0 when none). Entry pe reports e's own
+// in-process predecessor. This is the causal past's frontier — the cut a
+// visualization tool draws when the user selects an event.
+func (m *Monitor) GreatestPredecessors(e model.EventID) ([]CutEntry, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.ts.Timestamp(e); !ok {
+		return nil, fmt.Errorf("monitor: GreatestPredecessors: unknown event %v", e)
+	}
+	out := make([]CutEntry, m.store.NumProcs())
+	for q := range out {
+		qp := model.ProcessID(q)
+		out[q].Process = qp
+		if qp == e.Process {
+			out[q].Index = e.Index - 1
+			continue
+		}
+		idx, err := m.latestSatisfying(qp, func(g model.EventID) (bool, error) {
+			return m.ts.Precedes(g, e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[q].Index = idx
+	}
+	return out, nil
+}
+
+// GreatestConcurrent returns, for each process, the latest event concurrent
+// with e (index 0 when none) — the paper's motivating query.
+func (m *Monitor) GreatestConcurrent(e model.EventID) ([]CutEntry, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.ts.Timestamp(e); !ok {
+		return nil, fmt.Errorf("monitor: GreatestConcurrent: unknown event %v", e)
+	}
+	out := make([]CutEntry, m.store.NumProcs())
+	for q := range out {
+		qp := model.ProcessID(q)
+		out[q].Process = qp
+		if qp == e.Process {
+			// Events of e's own process are totally ordered with e.
+			continue
+		}
+		// Last event of q that e does NOT precede. Events beyond it are
+		// all causal successors of e.
+		lastNotAfter, err := m.latestSatisfying(qp, func(g model.EventID) (bool, error) {
+			after, err := m.ts.Precedes(e, g)
+			return !after, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if lastNotAfter == 0 {
+			continue // every event of q is after e (or q is empty)
+		}
+		// That event is concurrent iff it is not a predecessor of e.
+		g := model.EventID{Process: qp, Index: lastNotAfter}
+		before, err := m.ts.Precedes(g, e)
+		if err != nil {
+			return nil, err
+		}
+		if !before {
+			out[q].Index = lastNotAfter
+		}
+	}
+	return out, nil
+}
+
+// latestSatisfying binary-searches process q's events for the largest index
+// whose event satisfies pred, assuming pred is downward-closed on the
+// process order (if event k satisfies it, so do all earlier events). It
+// returns 0 when no event qualifies.
+func (m *Monitor) latestSatisfying(q model.ProcessID, pred func(model.EventID) (bool, error)) (model.EventIndex, error) {
+	lo, hi := model.EventIndex(0), m.eventCount(q) // invariant: lo satisfies (or 0), hi+1 does not
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		ok, err := pred(model.EventID{Process: q, Index: mid})
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

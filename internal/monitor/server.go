@@ -1,0 +1,343 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Server exposes a Monitor over TCP, completing the Figure 1 architecture:
+// instrumented processes connect and stream their event records; query
+// clients (visualization engines, control entities) connect and ask
+// precedence questions. One line-oriented protocol serves both roles:
+//
+//	EVENT u <proc>:<idx>              -> OK | ERR <msg>
+//	EVENT s <proc>:<idx> -> <p>:<i>   -> OK | ERR <msg>
+//	EVENT r <proc>:<idx> <- <p>:<i>   -> OK | ERR <msg>
+//	EVENT y <proc>:<idx> <> <p>:<i>   -> OK | ERR <msg>
+//	PRECEDES <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
+//	CONCURRENT <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
+//	STATS                              -> STATS events=<n> crs=<n> clusters=<n> held=<n>
+//	QUIT                               -> BYE (closes the connection)
+//
+// Events may arrive out of order across connections; the server feeds them
+// through a Collector. The server is safe for many concurrent connections.
+type Server struct {
+	monitor   *Monitor
+	collector *Collector
+	fixedVec  int
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a monitor for network serving.
+func NewServer(m *Monitor, fixedVector int) *Server {
+	return &Server{
+		monitor:   m,
+		collector: NewCollector(m),
+		fixedVec:  fixedVector,
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		resp, quit := s.handle(line)
+		fmt.Fprintln(w, resp)
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// handle executes one protocol line.
+func (s *Server) handle(line string) (resp string, quit bool) {
+	fields := strings.Fields(line)
+	switch strings.ToUpper(fields[0]) {
+	case "EVENT":
+		if len(fields) < 3 {
+			return "ERR event syntax", false
+		}
+		e, err := parseEventRecord(fields[1:])
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		if err := s.collector.Submit(e); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "PRECEDES", "CONCURRENT":
+		if len(fields) != 3 {
+			return "ERR query syntax", false
+		}
+		a, err1 := parseServerID(fields[1])
+		b, err2 := parseServerID(fields[2])
+		if err1 != nil || err2 != nil {
+			return "ERR bad event id", false
+		}
+		var res bool
+		var err error
+		if strings.ToUpper(fields[0]) == "PRECEDES" {
+			res, err = s.monitor.Precedes(a, b)
+		} else {
+			res, err = s.monitor.Concurrent(a, b)
+		}
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		if res {
+			return "TRUE", false
+		}
+		return "FALSE", false
+	case "STATS":
+		st := s.monitor.Stats(s.fixedVec)
+		return fmt.Sprintf("STATS events=%d crs=%d clusters=%d held=%d storage=%d",
+			st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts), false
+	case "QUIT":
+		return "BYE", true
+	default:
+		return "ERR unknown command", false
+	}
+}
+
+// parseEventRecord parses the event portion of an EVENT line, reusing the
+// text trace format's record shapes.
+func parseEventRecord(fields []string) (model.Event, error) {
+	id, err := parseServerID(fields[1])
+	if err != nil {
+		return model.Event{}, err
+	}
+	e := model.Event{ID: id}
+	switch fields[0] {
+	case "u":
+		if len(fields) != 2 {
+			return model.Event{}, fmt.Errorf("unary takes no partner")
+		}
+		e.Kind = model.Unary
+		return e, nil
+	case "s", "r", "y":
+		if len(fields) != 4 {
+			return model.Event{}, fmt.Errorf("missing partner")
+		}
+		partner, err := parseServerID(fields[3])
+		if err != nil {
+			return model.Event{}, err
+		}
+		e.Partner = partner
+		switch fields[0] {
+		case "s":
+			e.Kind = model.Send
+		case "r":
+			e.Kind = model.Receive
+		default:
+			e.Kind = model.Sync
+		}
+		return e, nil
+	}
+	return model.Event{}, fmt.Errorf("unknown event kind %q", fields[0])
+}
+
+func parseServerID(s string) (model.EventID, error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return model.EventID{}, fmt.Errorf("bad event id %q", s)
+	}
+	p, err1 := strconv.Atoi(s[:i])
+	idx, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || p < 0 || idx <= 0 {
+		return model.EventID{}, fmt.Errorf("bad event id %q", s)
+	}
+	return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(idx)}, nil
+}
+
+// Close stops the listener, closes all connections and waits for the
+// serving goroutines; buffered events stranded in the collector are
+// reported as an error.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return s.collector.Close()
+}
+
+// Client is a minimal client for Server's protocol, used by instrumentation
+// shims and tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a monitoring server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// roundTrip sends one line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil && (resp == "" || err != io.EOF) {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// Report streams one event to the server.
+func (c *Client) Report(e model.Event) error {
+	var line string
+	switch e.Kind {
+	case model.Unary:
+		line = fmt.Sprintf("EVENT u %d:%d", e.ID.Process, e.ID.Index)
+	case model.Send:
+		line = fmt.Sprintf("EVENT s %d:%d -> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+	case model.Receive:
+		line = fmt.Sprintf("EVENT r %d:%d <- %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+	case model.Sync:
+		line = fmt.Sprintf("EVENT y %d:%d <> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+	default:
+		return fmt.Errorf("monitor: unknown kind %v", e.Kind)
+	}
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("monitor: server: %s", resp)
+	}
+	return nil
+}
+
+// Precedes asks a happened-before query.
+func (c *Client) Precedes(e, f model.EventID) (bool, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("PRECEDES %d:%d %d:%d", e.Process, e.Index, f.Process, f.Index))
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "TRUE":
+		return true, nil
+	case "FALSE":
+		return false, nil
+	}
+	return false, fmt.Errorf("monitor: server: %s", resp)
+}
+
+// Concurrent asks a concurrency query.
+func (c *Client) Concurrent(e, f model.EventID) (bool, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("CONCURRENT %d:%d %d:%d", e.Process, e.Index, f.Process, f.Index))
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "TRUE":
+		return true, nil
+	case "FALSE":
+		return false, nil
+	}
+	return false, fmt.Errorf("monitor: server: %s", resp)
+}
+
+// Stats fetches the server-side statistics line.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(resp, "STATS ") {
+		return "", fmt.Errorf("monitor: server: %s", resp)
+	}
+	return strings.TrimPrefix(resp, "STATS "), nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip("QUIT")
+	return c.conn.Close()
+}

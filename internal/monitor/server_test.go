@@ -1,0 +1,142 @@
+package monitor
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func startServer(t *testing.T, numProcs int) (*Server, string) {
+	t.Helper()
+	m, err := New(numProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m, 300)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr.String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	spec, ok := workload.Find("dce/rpc-36")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	srv, addr := startServer(t, tr.NumProcs)
+
+	// One client connection per simulated process, streaming concurrently.
+	streams := make([][]model.Event, tr.NumProcs)
+	for _, e := range tr.Events {
+		streams[e.ID.Process] = append(streams[e.ID.Process], e)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, tr.NumProcs)
+	for _, stream := range streams {
+		stream := stream
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for _, e := range stream {
+				if err := c.Report(e); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Query client.
+	qc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	stats, err := qc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "held=0") {
+		t.Fatalf("events stranded: %s", stats)
+	}
+	e := tr.Events[0].ID
+	f := tr.Events[len(tr.Events)-1].ID
+	if _, err := qc.Precedes(e, f); err != nil {
+		t.Fatal(err)
+	}
+	conc, err := qc.Concurrent(e, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc {
+		t.Fatal("event concurrent with itself")
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != ErrClosed {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestServerProtocolErrors(t *testing.T) {
+	srv, addr := startServer(t, 2)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := &Client{conn: conn, r: bufio.NewReader(conn)}
+
+	cases := []struct {
+		send string
+		want string
+	}{
+		{"NONSENSE", "ERR unknown command"},
+		{"EVENT", "ERR event syntax"},
+		{"EVENT z 0:1", "ERR unknown event kind \"z\""},
+		{"EVENT u zero:1", "ERR bad event id \"zero:1\""},
+		{"EVENT u 0:1 -> 1:1", "ERR unary takes no partner"},
+		{"EVENT s 0:1", "ERR missing partner"},
+		{"EVENT s 0:1 -> bad", "ERR bad event id \"bad\""},
+		{"PRECEDES 0:1", "ERR query syntax"},
+		{"PRECEDES x 0:1", "ERR bad event id"},
+		{"PRECEDES 0:1 1:1", "ERR"}, // unknown events
+		{"EVENT u 0:1", "OK"},
+		{"EVENT u 9:1", "ERR"}, // process out of range
+		{"QUIT", "BYE"},
+	}
+	for _, tc := range cases {
+		resp, err := c.roundTrip(tc.send)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.send, err)
+		}
+		if !strings.HasPrefix(resp, tc.want) {
+			t.Fatalf("%q -> %q, want prefix %q", tc.send, resp, tc.want)
+		}
+	}
+}

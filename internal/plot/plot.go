@@ -1,0 +1,117 @@
+// Package plot renders ratio curves as ASCII charts and as
+// gnuplot-compatible data blocks, for regenerating the paper's figures in a
+// terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders the curves in one chart of the given size. The x axis is
+// maxCS, the y axis the average timestamp ratio (clamped to [0, yMax]).
+// Pass yMax <= 0 to auto-scale.
+func ASCII(curves []*metrics.Curve, width, height int, yMax float64) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(curves) == 0 {
+		return "(no curves)\n"
+	}
+	xMin, xMax := curves[0].MaxCS[0], curves[0].MaxCS[0]
+	for _, c := range curves {
+		for _, s := range c.MaxCS {
+			if s < xMin {
+				xMin = s
+			}
+			if s > xMax {
+				xMax = s
+			}
+		}
+		if yMax <= 0 {
+			if m := c.MaxRatio(); m > yMax {
+				yMax = m
+			}
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.05
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for ci, c := range curves {
+		mk := markers[ci%len(markers)]
+		for i := range c.MaxCS {
+			x := 0
+			if xMax > xMin {
+				x = (c.MaxCS[i] - xMin) * (width - 1) / (xMax - xMin)
+			}
+			yr := c.Ratio[i] / yMax
+			if yr > 1 {
+				yr = 1
+			}
+			y := height - 1 - int(math.Round(yr*float64(height-1)))
+			grid[y][x] = mk
+		}
+	}
+
+	var sb strings.Builder
+	for r, row := range grid {
+		val := yMax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%6.2f |%s|\n", val, string(row))
+	}
+	fmt.Fprintf(&sb, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "        maxCS %d..%d\n", xMin, xMax)
+	for ci, c := range curves {
+		fmt.Fprintf(&sb, "        %c %s/%s\n", markers[ci%len(markers)], c.Computation, c.Strategy)
+	}
+	return sb.String()
+}
+
+// GnuplotData renders the curves as whitespace-separated columns:
+// maxCS followed by one ratio column per curve (aligned on the union of
+// sweep points; missing points print as "?"). A comment header names the
+// columns.
+func GnuplotData(curves []*metrics.Curve) string {
+	var sb strings.Builder
+	sb.WriteString("# maxCS")
+	sizeSet := map[int]bool{}
+	for _, c := range curves {
+		fmt.Fprintf(&sb, "\t%s/%s", c.Computation, c.Strategy)
+		for _, s := range c.MaxCS {
+			sizeSet[s] = true
+		}
+	}
+	sb.WriteByte('\n')
+	sizes := make([]int, 0, len(sizeSet))
+	for s := range sizeSet {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(&sb, "%d", s)
+		for _, c := range curves {
+			if r, ok := c.At(s); ok {
+				fmt.Fprintf(&sb, "\t%.6f", r)
+			} else {
+				sb.WriteString("\t?")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

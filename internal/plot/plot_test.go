@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+func sampleCurves() []*metrics.Curve {
+	return []*metrics.Curve{
+		{
+			Computation: "a", Strategy: "static",
+			MaxCS: []int{2, 3, 4, 5},
+			Ratio: []float64{0.5, 0.3, 0.2, 0.25},
+		},
+		{
+			Computation: "a", Strategy: "merge-1st",
+			MaxCS: []int{2, 3, 4, 5},
+			Ratio: []float64{0.45, 0.35, 0.30, 0.22},
+		},
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	out := ASCII(sampleCurves(), 40, 10, 0.6)
+	if !strings.Contains(out, "maxCS 2..5") {
+		t.Fatalf("missing x-axis label:\n%s", out)
+	}
+	if !strings.Contains(out, "a/static") || !strings.Contains(out, "a/merge-1st") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("missing point markers:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestASCIIAutoScaleAndClamps(t *testing.T) {
+	// Auto y-scale (yMax <= 0), tiny dimensions get clamped.
+	out := ASCII(sampleCurves(), 1, 1, 0)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	if got := ASCII(nil, 40, 10, 0.5); !strings.Contains(got, "no curves") {
+		t.Fatalf("empty input: %q", got)
+	}
+	// A curve of zero ratios still renders (yMax fallback).
+	flat := []*metrics.Curve{{Computation: "z", Strategy: "s", MaxCS: []int{2, 3}, Ratio: []float64{0, 0}}}
+	if out := ASCII(flat, 30, 6, 0); out == "" {
+		t.Fatal("flat chart empty")
+	}
+	// Single sweep point (xMax == xMin).
+	single := []*metrics.Curve{{Computation: "o", Strategy: "s", MaxCS: []int{7}, Ratio: []float64{0.4}}}
+	if out := ASCII(single, 30, 6, 0.5); !strings.Contains(out, "maxCS 7..7") {
+		t.Fatalf("single-point chart: %q", out)
+	}
+	// Ratio above yMax clamps rather than panicking.
+	high := []*metrics.Curve{{Computation: "h", Strategy: "s", MaxCS: []int{2, 3}, Ratio: []float64{2.0, 0.1}}}
+	if out := ASCII(high, 30, 6, 0.5); out == "" {
+		t.Fatal("clamped chart empty")
+	}
+}
+
+func TestGnuplotData(t *testing.T) {
+	out := GnuplotData(sampleCurves())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + 4 sweep points
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# maxCS") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "a/static") {
+		t.Fatalf("header missing column name: %q", lines[0])
+	}
+	fields := strings.Split(lines[1], "\t")
+	if len(fields) != 3 {
+		t.Fatalf("row fields = %d: %q", len(fields), lines[1])
+	}
+	if fields[0] != "2" {
+		t.Fatalf("first size = %q", fields[0])
+	}
+}
+
+func TestGnuplotDataMissingPoints(t *testing.T) {
+	curves := []*metrics.Curve{
+		{Computation: "a", Strategy: "x", MaxCS: []int{2, 4}, Ratio: []float64{0.5, 0.4}},
+		{Computation: "a", Strategy: "y", MaxCS: []int{3}, Ratio: []float64{0.2}},
+	}
+	out := GnuplotData(curves)
+	if !strings.Contains(out, "?") {
+		t.Fatalf("missing points not marked:\n%s", out)
+	}
+	// Union of sizes: 2, 3, 4 -> header + 3 rows.
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 4 {
+		t.Fatalf("rows = %d:\n%s", got, out)
+	}
+}
+
+func TestSpaceTime(t *testing.T) {
+	b := model.NewBuilder("st", 3)
+	b.Unary(0)
+	s := b.Send(0)
+	b.Receive(1, s)
+	b.Sync(1, 2)
+	tr := b.Trace()
+	out := SpaceTime(tr, 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "u") || !strings.Contains(lines[0], "s>1") {
+		t.Fatalf("p0 row = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "r<0") || !strings.Contains(lines[1], "y~2") {
+		t.Fatalf("p1 row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "y~1") {
+		t.Fatalf("p2 row = %q", lines[2])
+	}
+}
+
+func TestSpaceTimeTruncates(t *testing.T) {
+	b := model.NewBuilder("big", 2)
+	for i := 0; i < 50; i++ {
+		b.Message(0, 1)
+	}
+	tr := b.Trace()
+	out := SpaceTime(tr, 10)
+	if !strings.Contains(out, "of 100 events shown") {
+		t.Fatalf("missing truncation notice:\n%s", out)
+	}
+	if !strings.Contains(out, "…") {
+		t.Fatalf("missing ellipsis:\n%s", out)
+	}
+}

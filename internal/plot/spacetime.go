@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// SpaceTime renders a small trace as an ASCII space-time (process-time)
+// diagram — the visualization communication-visualization tools draw. One
+// row per process; time flows left to right in delivery order; each event
+// occupies one cell:
+//
+//	u   unary event
+//	s>Q send to process Q
+//	r<Q receive from process Q
+//	y~Q synchronous event with process Q
+//
+// maxEvents bounds the number of delivery slots drawn (the rest is elided
+// with a trailing "…"). The renderer targets small traces; for corpus-scale
+// traces use the ratio charts instead.
+func SpaceTime(t *model.Trace, maxEvents int) string {
+	if maxEvents <= 0 {
+		maxEvents = 80
+	}
+	n := len(t.Events)
+	truncated := false
+	if n > maxEvents {
+		n = maxEvents
+		truncated = true
+	}
+
+	// Column width: wide enough for the widest partner label.
+	cellW := 2
+	for _, e := range t.Events[:n] {
+		if e.HasPartner() {
+			if w := 3 + digits(int(e.Partner.Process)); w > cellW {
+				cellW = w
+			}
+		}
+	}
+
+	rows := make([][]string, t.NumProcs)
+	for p := range rows {
+		rows[p] = make([]string, n)
+		for i := range rows[p] {
+			rows[p][i] = strings.Repeat("-", cellW)
+		}
+	}
+	for i, e := range t.Events[:n] {
+		var cell string
+		switch e.Kind {
+		case model.Unary:
+			cell = "u"
+		case model.Send:
+			cell = fmt.Sprintf("s>%d", e.Partner.Process)
+		case model.Receive:
+			cell = fmt.Sprintf("r<%d", e.Partner.Process)
+		case model.Sync:
+			cell = fmt.Sprintf("y~%d", e.Partner.Process)
+		default:
+			cell = "?"
+		}
+		if len(cell) < cellW {
+			cell += strings.Repeat("-", cellW-len(cell))
+		}
+		rows[e.ID.Process][i] = cell
+	}
+
+	var sb strings.Builder
+	label := digits(t.NumProcs-1) + 1
+	for p := 0; p < t.NumProcs; p++ {
+		fmt.Fprintf(&sb, "p%-*d ", label, p)
+		for i := 0; i < n; i++ {
+			sb.WriteString(rows[p][i])
+		}
+		if truncated {
+			sb.WriteString(" …")
+		}
+		sb.WriteByte('\n')
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "(%d of %d events shown)\n", n, len(t.Events))
+	}
+	return sb.String()
+}
+
+func digits(v int) int {
+	d := 1
+	for v >= 10 {
+		v /= 10
+		d++
+	}
+	return d
+}

@@ -1,0 +1,289 @@
+package poset
+
+// This file implements the B-tree index of the partial-order data structure.
+// Communication-visualization tools access the transitive reduction of the
+// partial order "with a B-tree-like index" keyed by process identifier and
+// event number (Section 1 of the paper); this is that index.
+//
+// The tree is append-mostly in practice (events only accrete) but supports
+// arbitrary insertion order, point lookup, and in-order iteration. Keys are
+// packed (process, index) pairs so comparisons are single integer compares.
+
+import "fmt"
+
+// Key is a packed (process, event-index) identifier ordered first by process
+// then by index.
+type Key uint64
+
+// MakeKey packs a process id and event index into a Key.
+func MakeKey(process int32, index int32) Key {
+	return Key(uint64(uint32(process))<<32 | uint64(uint32(index)))
+}
+
+// Process unpacks the process component.
+func (k Key) Process() int32 { return int32(uint32(k >> 32)) }
+
+// Index unpacks the event-index component.
+func (k Key) Index() int32 { return int32(uint32(k)) }
+
+// String renders the key like an EventID.
+func (k Key) String() string { return fmt.Sprintf("p%d:%d", k.Process(), k.Index()) }
+
+// btreeDegree is the minimum degree t: every node except the root holds
+// between t-1 and 2t-1 keys. 16 keeps nodes around two cache lines of keys.
+const btreeDegree = 16
+
+const (
+	minKeys = btreeDegree - 1
+	maxKeys = 2*btreeDegree - 1
+)
+
+type node struct {
+	keys     []Key
+	values   []int // positions into the store's event arena
+	children []*node
+	leaf     bool
+}
+
+func newLeaf() *node {
+	return &node{
+		keys:   make([]Key, 0, maxKeys),
+		values: make([]int, 0, maxKeys),
+		leaf:   true,
+	}
+}
+
+// findKey returns the position of the first key >= k within n.
+func (n *node) findKey(k Key) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// BTree maps Keys to int values (arena positions). The zero value is not
+// usable; call NewBTree.
+type BTree struct {
+	root *node
+	size int
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: newLeaf()} }
+
+// Len returns the number of keys stored.
+func (t *BTree) Len() int { return t.size }
+
+// Get returns the value stored under k.
+func (t *BTree) Get(k Key) (int, bool) {
+	n := t.root
+	for {
+		i := n.findKey(k)
+		if i < len(n.keys) && n.keys[i] == k {
+			return n.values[i], true
+		}
+		if n.leaf {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Put inserts or replaces the value under k. It reports whether the key was
+// newly inserted.
+func (t *BTree) Put(k Key, v int) bool {
+	if len(t.root.keys) == maxKeys {
+		old := t.root
+		t.root = &node{
+			keys:     make([]Key, 0, maxKeys),
+			values:   make([]int, 0, maxKeys),
+			children: append(make([]*node, 0, maxKeys+1), old),
+		}
+		t.root.splitChild(0)
+	}
+	inserted := t.root.insertNonFull(k, v)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child at position i of n, hoisting its median
+// key into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := minKeys
+	midKey, midVal := child.keys[mid], child.values[mid]
+
+	right := &node{
+		keys:   append(make([]Key, 0, maxKeys), child.keys[mid+1:]...),
+		values: append(make([]int, 0, maxKeys), child.values[mid+1:]...),
+		leaf:   child.leaf,
+	}
+	if !child.leaf {
+		right.children = append(make([]*node, 0, maxKeys+1), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.values = child.values[:mid]
+
+	n.keys = append(n.keys, 0)
+	n.values = append(n.values, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.values[i+1:], n.values[i:])
+	n.keys[i], n.values[i] = midKey, midVal
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node) insertNonFull(k Key, v int) bool {
+	for {
+		i := n.findKey(k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.values[i] = v
+			return false
+		}
+		if n.leaf {
+			n.keys = append(n.keys, 0)
+			n.values = append(n.values, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.values[i+1:], n.values[i:])
+			n.keys[i], n.values[i] = k, v
+			return true
+		}
+		if len(n.children[i].keys) == maxKeys {
+			n.splitChild(i)
+			if k == n.keys[i] {
+				n.values[i] = v
+				return false
+			}
+			if k > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Ascend calls fn for every (key, value) pair in ascending key order until fn
+// returns false.
+func (t *BTree) Ascend(fn func(Key, int) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *node) ascend(fn func(Key, int) bool) bool {
+	for i := range n.keys {
+		if !n.leaf {
+			if !n.children[i].ascend(fn) {
+				return false
+			}
+		}
+		if !fn(n.keys[i], n.values[i]) {
+			return false
+		}
+	}
+	if !n.leaf {
+		return n.children[len(n.keys)].ascend(fn)
+	}
+	return true
+}
+
+// AscendRange calls fn for every pair with lo <= key < hi in ascending order
+// until fn returns false. It is the scan used to enumerate one process's
+// events: [MakeKey(p,1), MakeKey(p+1,0)).
+func (t *BTree) AscendRange(lo, hi Key, fn func(Key, int) bool) {
+	t.root.ascendRange(lo, hi, fn)
+}
+
+func (n *node) ascendRange(lo, hi Key, fn func(Key, int) bool) bool {
+	i := n.findKey(lo)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf {
+			if !n.children[i].ascendRange(lo, hi, fn) {
+				return false
+			}
+		}
+		if n.keys[i] >= hi {
+			return true
+		}
+		if n.keys[i] >= lo {
+			if !fn(n.keys[i], n.values[i]) {
+				return false
+			}
+		}
+	}
+	if !n.leaf {
+		return n.children[len(n.keys)].ascendRange(lo, hi, fn)
+	}
+	return true
+}
+
+// depth returns the height of the tree (leaf = 1); used by invariant checks.
+func (t *BTree) depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// checkInvariants validates B-tree structural invariants; it is exported to
+// the package's tests via poset_test helpers.
+func (t *BTree) checkInvariants() error {
+	_, err := t.root.check(true)
+	return err
+}
+
+func (n *node) check(isRoot bool) (depth int, err error) {
+	if !isRoot && len(n.keys) < minKeys {
+		return 0, fmt.Errorf("poset: node underfull: %d keys", len(n.keys))
+	}
+	if len(n.keys) > maxKeys {
+		return 0, fmt.Errorf("poset: node overfull: %d keys", len(n.keys))
+	}
+	if len(n.keys) != len(n.values) {
+		return 0, fmt.Errorf("poset: keys/values length mismatch")
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return 0, fmt.Errorf("poset: keys out of order at %d", i)
+		}
+	}
+	if n.leaf {
+		if len(n.children) != 0 {
+			return 0, fmt.Errorf("poset: leaf with children")
+		}
+		return 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("poset: internal node has %d children for %d keys", len(n.children), len(n.keys))
+	}
+	childDepth := -1
+	for i, c := range n.children {
+		d, err := c.check(false)
+		if err != nil {
+			return 0, err
+		}
+		if childDepth == -1 {
+			childDepth = d
+		} else if d != childDepth {
+			return 0, fmt.Errorf("poset: uneven child depth")
+		}
+		// Separator ordering.
+		if i > 0 && len(c.keys) > 0 && c.keys[0] <= n.keys[i-1] {
+			return 0, fmt.Errorf("poset: child keys below separator")
+		}
+		if i < len(n.keys) && len(c.keys) > 0 && c.keys[len(c.keys)-1] >= n.keys[i] {
+			return 0, fmt.Errorf("poset: child keys above separator")
+		}
+	}
+	return childDepth + 1, nil
+}

@@ -1,0 +1,214 @@
+package poset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyPacking(t *testing.T) {
+	k := MakeKey(7, 42)
+	if k.Process() != 7 || k.Index() != 42 {
+		t.Fatalf("round-trip failed: %v", k)
+	}
+	if k.String() != "p7:42" {
+		t.Fatalf("String = %q", k.String())
+	}
+	if MakeKey(0, 1) >= MakeKey(0, 2) {
+		t.Fatalf("index ordering broken")
+	}
+	if MakeKey(0, 1<<30) >= MakeKey(1, 1) {
+		t.Fatalf("process must dominate ordering")
+	}
+}
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	if bt.Len() != 0 {
+		t.Fatalf("fresh tree nonempty")
+	}
+	if _, ok := bt.Get(MakeKey(0, 1)); ok {
+		t.Fatalf("Get on empty tree succeeded")
+	}
+	if !bt.Put(MakeKey(0, 1), 10) {
+		t.Fatalf("first Put not reported as insert")
+	}
+	if bt.Put(MakeKey(0, 1), 20) {
+		t.Fatalf("overwrite reported as insert")
+	}
+	v, ok := bt.Get(MakeKey(0, 1))
+	if !ok || v != 20 {
+		t.Fatalf("Get = %d,%v want 20,true", v, ok)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeManySequential(t *testing.T) {
+	bt := NewBTree()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		bt.Put(MakeKey(0, int32(i+1)), i)
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n)
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if bt.depth() < 2 {
+		t.Fatalf("tree did not grow: depth %d", bt.depth())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := bt.Get(MakeKey(0, int32(i+1)))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i+1, v, ok)
+		}
+	}
+}
+
+func TestBTreeRandomAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	bt := NewBTree()
+	ref := map[Key]int{}
+	for i := 0; i < 20000; i++ {
+		k := MakeKey(int32(r.Intn(50)), int32(r.Intn(500)))
+		v := r.Int()
+		wantNew := true
+		if _, ok := ref[k]; ok {
+			wantNew = false
+		}
+		if got := bt.Put(k, v); got != wantNew {
+			t.Fatalf("Put(%v) inserted=%v, want %v", k, got, wantNew)
+		}
+		ref[k] = v
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(ref))
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	for k, v := range ref {
+		got, ok := bt.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%v) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Absent keys.
+	for i := 0; i < 100; i++ {
+		k := MakeKey(int32(100+r.Intn(50)), int32(r.Intn(500)))
+		if _, ok := bt.Get(k); ok {
+			t.Fatalf("Get(%v) found absent key", k)
+		}
+	}
+}
+
+func TestBTreeAscendOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	bt := NewBTree()
+	var keys []Key
+	for i := 0; i < 3000; i++ {
+		k := MakeKey(int32(r.Intn(20)), int32(r.Intn(1000)))
+		if bt.Put(k, int(k)) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var got []Key
+	bt.Ascend(func(k Key, v int) bool {
+		if v != int(k) {
+			t.Fatalf("value mismatch for %v", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Ascend visited %d keys, want %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("Ascend order wrong at %d: %v != %v", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestBTreeAscendEarlyStop(t *testing.T) {
+	bt := NewBTree()
+	for i := int32(1); i <= 100; i++ {
+		bt.Put(MakeKey(0, i), int(i))
+	}
+	count := 0
+	bt.Ascend(func(Key, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for p := int32(0); p < 5; p++ {
+		for i := int32(1); i <= 40; i++ {
+			bt.Put(MakeKey(p, i), int(p)*1000+int(i))
+		}
+	}
+	var got []Key
+	bt.AscendRange(MakeKey(2, 0), MakeKey(3, 0), func(k Key, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 40 {
+		t.Fatalf("range scan visited %d, want 40", len(got))
+	}
+	for i, k := range got {
+		if k.Process() != 2 || k.Index() != int32(i+1) {
+			t.Fatalf("range scan wrong key at %d: %v", i, k)
+		}
+	}
+	// Early stop within range.
+	count := 0
+	bt.AscendRange(MakeKey(0, 0), MakeKey(5, 0), func(Key, int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("range early stop visited %d", count)
+	}
+	// Empty range.
+	bt.AscendRange(MakeKey(9, 0), MakeKey(10, 0), func(Key, int) bool {
+		t.Fatalf("empty range visited a key")
+		return false
+	})
+}
+
+func TestBTreeQuickInsertLookup(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		ref := map[Key]int{}
+		for i := 0; i < 500; i++ {
+			k := MakeKey(int32(r.Intn(8)), int32(r.Intn(64)))
+			v := r.Intn(1000)
+			bt.Put(k, v)
+			ref[k] = v
+		}
+		if bt.checkInvariants() != nil || bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package poset
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Oracle answers happened-before queries by explicit graph search over the
+// transitive reduction. It is the ground-truth precedence implementation the
+// timestamp algorithms are property-tested against; it makes no use of
+// vector clocks.
+//
+// Synchronous pairs are contracted to a single graph node, so the two halves
+// of a pair are mutually concurrent while everything ordered with respect to
+// one half is identically ordered with respect to the other.
+type Oracle struct {
+	store *Store
+	// rep maps an arena position to its contracted representative (the
+	// earlier-delivered half of a sync pair, or itself).
+	rep []int
+	// succ holds forward edges between representatives.
+	succ [][]int
+	// scratch for BFS.
+	visited []int
+	stamp   int
+	queue   []int
+}
+
+// NewOracle builds an oracle over a fully-ingested store.
+func NewOracle(s *Store) *Oracle {
+	n := s.Len()
+	o := &Oracle{
+		store:   s,
+		rep:     make([]int, n),
+		succ:    make([][]int, n),
+		visited: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		o.rep[i] = i
+	}
+	// Contract sync pairs onto the earlier position.
+	for i := 0; i < n; i++ {
+		nd := s.At(i)
+		if nd.Event.Kind == model.Sync && nd.PartnerPos >= 0 && nd.PartnerPos < i {
+			o.rep[i] = nd.PartnerPos
+		}
+	}
+	addEdge := func(from, to int) {
+		f, t := o.rep[from], o.rep[to]
+		if f != t {
+			o.succ[f] = append(o.succ[f], t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		nd := s.At(i)
+		if nd.NextInProcess >= 0 {
+			addEdge(i, nd.NextInProcess)
+		}
+		if nd.Event.Kind == model.Send && nd.PartnerPos >= 0 {
+			addEdge(i, nd.PartnerPos)
+		}
+	}
+	return o
+}
+
+// NewOracleFromTrace ingests the trace into a fresh store and builds an
+// oracle over it.
+func NewOracleFromTrace(t *model.Trace) (*Oracle, error) {
+	s := NewStore(t.NumProcs)
+	if err := s.AppendAll(t); err != nil {
+		return nil, fmt.Errorf("poset: building oracle: %w", err)
+	}
+	return NewOracle(s), nil
+}
+
+// Store returns the underlying store.
+func (o *Oracle) Store() *Store { return o.store }
+
+// HappenedBefore reports whether e happened before f by graph reachability.
+// It returns false for identical events and for the two halves of a sync
+// pair.
+func (o *Oracle) HappenedBefore(e, f model.EventID) bool {
+	ep, fp := o.store.Pos(e), o.store.Pos(f)
+	if ep < 0 || fp < 0 {
+		return false
+	}
+	return o.reaches(o.rep[ep], o.rep[fp])
+}
+
+// Concurrent reports whether neither event happened before the other.
+func (o *Oracle) Concurrent(e, f model.EventID) bool {
+	if e == f {
+		return false
+	}
+	return !o.HappenedBefore(e, f) && !o.HappenedBefore(f, e)
+}
+
+// reaches runs a BFS from src looking for dst, excluding the trivial
+// zero-length path.
+func (o *Oracle) reaches(src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	o.stamp++
+	o.queue = o.queue[:0]
+	o.queue = append(o.queue, src)
+	o.visited[src] = o.stamp
+	for len(o.queue) > 0 {
+		cur := o.queue[0]
+		o.queue = o.queue[1:]
+		for _, nxt := range o.succ[cur] {
+			if nxt == dst {
+				return true
+			}
+			if o.visited[nxt] != o.stamp {
+				o.visited[nxt] = o.stamp
+				o.queue = append(o.queue, nxt)
+			}
+		}
+	}
+	return false
+}

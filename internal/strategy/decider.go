@@ -1,0 +1,151 @@
+// Package strategy implements the clustering strategies evaluated in the
+// paper:
+//
+//   - merge-on-1st-communication (the original dynamic strategy),
+//   - merge-on-Nth-communication with a normalized cluster-receive
+//     threshold (Section 3.2),
+//   - the static greedy normalized-communication clustering of Figure 3,
+//   - fixed contiguous clusters (the earlier-work baseline), and
+//   - the k-means-style and k-medoid approaches Section 3.1 reports
+//     implementing and rejecting.
+//
+// Dynamic strategies implement Decider, consulted by the cluster-timestamp
+// engine each time a cluster receive is observed. Static strategies produce
+// a process partition up front from the communication graph.
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Decider is a dynamic clustering strategy. The cluster-timestamp engine
+// consults it once per observed cluster receive; the decider may update
+// internal statistics and directs whether the two clusters merge now.
+//
+// Deciders see events exactly once and never revisit a placement, matching
+// the constraint of Section 1.2: once a process is placed in a cluster, that
+// placement never changes (clusters only grow by merging).
+type Decider interface {
+	// Name returns a short stable identifier for reports.
+	Name() string
+	// OnClusterReceive is invoked for a cluster receive whose receiver
+	// lies in live cluster a and whose sender lies in live cluster b
+	// (a != b). sizeOK reports whether |a| + |b| <= maxCS. The return
+	// value directs an immediate merge; implementations must only return
+	// true when sizeOK is true.
+	OnClusterReceive(a, b cluster.ID, sizeA, sizeB int, sizeOK bool) bool
+	// OnMerge informs the decider that clusters a and b were merged into
+	// the new cluster c, so pair statistics can be folded.
+	OnMerge(a, b, c cluster.ID)
+}
+
+// MergeOnFirst is the merge-on-1st-communication strategy: merge the two
+// clusters on the first cluster receive between them, whenever the size
+// bound permits.
+type MergeOnFirst struct{}
+
+// NewMergeOnFirst returns the merge-on-1st-communication decider.
+func NewMergeOnFirst() *MergeOnFirst { return &MergeOnFirst{} }
+
+// Name implements Decider.
+func (*MergeOnFirst) Name() string { return "merge-1st" }
+
+// OnClusterReceive implements Decider: always merge if size permits.
+func (*MergeOnFirst) OnClusterReceive(_, _ cluster.ID, _, _ int, sizeOK bool) bool {
+	return sizeOK
+}
+
+// OnMerge implements Decider (stateless).
+func (*MergeOnFirst) OnMerge(_, _, _ cluster.ID) {}
+
+// Never is the decider for static and fixed clusterings: clusters never
+// merge during timestamping.
+type Never struct{}
+
+// NewNever returns the never-merge decider.
+func NewNever() *Never { return &Never{} }
+
+// Name implements Decider.
+func (*Never) Name() string { return "static" }
+
+// OnClusterReceive implements Decider.
+func (*Never) OnClusterReceive(_, _ cluster.ID, _, _ int, _ bool) bool { return false }
+
+// OnMerge implements Decider.
+func (*Never) OnMerge(_, _, _ cluster.ID) {}
+
+// MergeOnNth is the merge-on-Nth-communication strategy of Section 3.2. It
+// keeps a matrix of the total number of cluster receives observed so far
+// between each pair of live clusters, normalized by the combined size of the
+// pair, and merges when the normalized count exceeds Threshold. With
+// Threshold = 0 it degenerates to merge-on-1st-communication.
+type MergeOnNth struct {
+	// Threshold is the normalized cluster-receive count that must be
+	// exceeded before a merge.
+	Threshold float64
+	// counts holds, per live cluster, the cluster-receive counts against
+	// other live clusters. Entries are symmetric.
+	counts map[cluster.ID]map[cluster.ID]int64
+}
+
+// NewMergeOnNth returns a merge-on-Nth decider with the given normalized
+// threshold.
+func NewMergeOnNth(threshold float64) *MergeOnNth {
+	if threshold < 0 {
+		panic(fmt.Sprintf("strategy: negative threshold %f", threshold))
+	}
+	return &MergeOnNth{
+		Threshold: threshold,
+		counts:    make(map[cluster.ID]map[cluster.ID]int64),
+	}
+}
+
+// Name implements Decider.
+func (m *MergeOnNth) Name() string { return fmt.Sprintf("merge-nth(%g)", m.Threshold) }
+
+func (m *MergeOnNth) row(a cluster.ID) map[cluster.ID]int64 {
+	r, ok := m.counts[a]
+	if !ok {
+		r = make(map[cluster.ID]int64)
+		m.counts[a] = r
+	}
+	return r
+}
+
+// PairCount returns the cluster receives recorded between live clusters a
+// and b.
+func (m *MergeOnNth) PairCount(a, b cluster.ID) int64 {
+	return m.counts[a][b]
+}
+
+// OnClusterReceive implements Decider.
+func (m *MergeOnNth) OnClusterReceive(a, b cluster.ID, sizeA, sizeB int, sizeOK bool) bool {
+	ra, rb := m.row(a), m.row(b)
+	ra[b]++
+	rb[a]++
+	if !sizeOK {
+		return false
+	}
+	norm := float64(ra[b]) / float64(sizeA+sizeB)
+	return norm > m.Threshold
+}
+
+// OnMerge implements Decider: fold a's and b's rows into c's, re-keying the
+// reverse entries held by the partner clusters.
+func (m *MergeOnNth) OnMerge(a, b, c cluster.ID) {
+	rc := m.row(c)
+	for _, old := range []cluster.ID{a, b} {
+		for partner, n := range m.counts[old] {
+			if partner == a || partner == b {
+				continue // intra-merge counts disappear
+			}
+			rc[partner] += n
+			rp := m.row(partner)
+			rp[c] += n
+			delete(rp, old)
+		}
+		delete(m.counts, old)
+	}
+}

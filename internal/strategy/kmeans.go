@@ -1,0 +1,116 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/commgraph"
+)
+
+// KMeansStyle implements the k-means-like clustering approach Section 3.1
+// reports rejecting. There is no natural "centroid process" for a cluster of
+// communicating processes, so — as an honest rendering of the attempt — each
+// process is represented by its normalized row of the communication matrix
+// and a cluster's centre is the mean of its members' vectors; assignment
+// maximizes cosine similarity with the centre. Like KMedoid it fixes the
+// number of clusters rather than bounding their size and tends to produce a
+// few crowded clusters plus many sparse ones. Provided as part of the A1
+// ablation.
+func KMeansStyle(g *commgraph.Graph, k, iterations int) [][]int32 {
+	n := g.NumProcs()
+	if k < 1 {
+		panic(fmt.Sprintf("strategy: KMeansStyle with k=%d", k))
+	}
+	if k > n {
+		k = n
+	}
+
+	// Sparse normalized communication vectors.
+	vecs := make([]map[int32]float64, n)
+	for p := 0; p < n; p++ {
+		vecs[p] = make(map[int32]float64)
+	}
+	for _, e := range g.Edges() {
+		vecs[e.P][e.Q] += float64(e.Count)
+		vecs[e.Q][e.P] += float64(e.Count)
+	}
+	for p := 0; p < n; p++ {
+		var norm float64
+		for _, v := range vecs[p] {
+			norm += v * v
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for q, v := range vecs[p] {
+				vecs[p][q] = v / norm
+			}
+		}
+	}
+
+	// Deterministic seeding: spread initial centres over the process
+	// range.
+	assign := make([]int, n)
+	for p := 0; p < n; p++ {
+		assign[p] = p * k / n
+	}
+
+	centres := make([]map[int32]float64, k)
+	for iter := 0; iter < iterations; iter++ {
+		// Centre update: mean of member vectors.
+		sizes := make([]int, k)
+		for i := range centres {
+			centres[i] = make(map[int32]float64)
+		}
+		for p := 0; p < n; p++ {
+			c := assign[p]
+			sizes[c]++
+			for q, v := range vecs[p] {
+				centres[c][q] += v
+			}
+		}
+		for i := range centres {
+			if sizes[i] == 0 {
+				continue
+			}
+			for q := range centres[i] {
+				centres[i][q] /= float64(sizes[i])
+			}
+		}
+		// Assignment: maximize dot product with the centre (vectors are
+		// unit length, so this is cosine similarity).
+		changed := false
+		for p := 0; p < n; p++ {
+			bestI, bestSim := assign[p], -1.0
+			for i := 0; i < k; i++ {
+				var sim float64
+				for q, v := range vecs[p] {
+					sim += v * centres[i][q]
+				}
+				if sim > bestSim {
+					bestI, bestSim = i, sim
+				}
+			}
+			if bestI != assign[p] {
+				assign[p] = bestI
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	groups := make([][]int32, k)
+	for p := 0; p < n; p++ {
+		groups[assign[p]] = append(groups[assign[p]], int32(p))
+	}
+	var out [][]int32
+	for _, grp := range groups {
+		if len(grp) > 0 {
+			out = append(out, grp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

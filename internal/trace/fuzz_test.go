@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// seedTraces produces a few valid serialized traces as fuzz seeds.
+func seedTraces(t testingF) [][]byte {
+	b := model.NewBuilder("seed", 3)
+	b.Unary(0)
+	b.Message(0, 1)
+	b.Sync(1, 2)
+	tr := b.Trace()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{bin.Bytes(), txt.Bytes()}
+}
+
+// testingF is the subset of *testing.F the seed helper needs, so it can be
+// shared between the two fuzz targets.
+type testingF interface {
+	Fatal(args ...any)
+}
+
+// FuzzReadBinary asserts the binary reader never panics and that anything it
+// accepts re-serializes to a byte-identical trace.
+func FuzzReadBinary(f *testing.F) {
+	for _, s := range seedTraces(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("HCTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must be valid and round-trip.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("reader accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, tr); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		tr2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if tr2.NumEvents() != tr.NumEvents() || tr2.NumProcs != tr.NumProcs {
+			t.Fatalf("round-trip mismatch")
+		}
+	})
+}
+
+// FuzzReadText asserts the text reader never panics and round-trips accepted
+// traces.
+func FuzzReadText(f *testing.F) {
+	for _, s := range seedTraces(f) {
+		f.Add(string(s))
+	}
+	f.Add("procs 1\nu 0:1\n")
+	f.Add("procs x\n")
+	f.Add("s 0:1 -> 1:1")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("reader accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, tr); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		tr2, err := ReadText(&out)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if tr2.NumEvents() != tr.NumEvents() {
+			t.Fatalf("round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package trace serializes computation traces. Two formats are provided:
+//
+//   - a compact binary format (magic "HCTR") with varint-encoded event
+//     records, used by the command-line tools to store generated corpora;
+//   - a line-oriented text format for human inspection and interchange,
+//     mirroring the event records a monitoring entity receives (process,
+//     event number, type, partner identification).
+//
+// Both formats round-trip exactly and are validated on read.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Magic identifies the binary trace format.
+const Magic = "HCTR"
+
+// Version is the current binary format version.
+const Version = 1
+
+// Errors returned by the readers.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic")
+	ErrBadVersion = errors.New("trace: unsupported version")
+	ErrCorrupt    = errors.New("trace: corrupt input")
+)
+
+// maxProcs bounds the accepted process count: readers reject anything
+// larger rather than attempting enormous allocations on corrupt input.
+const maxProcs = 1 << 22
+
+// WriteBinary writes the trace in binary format.
+func WriteBinary(w io.Writer, t *model.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(Version); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(t.NumProcs)); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := putUvarint(uint64(e.ID.Process)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.ID.Index)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if e.Kind != model.Unary {
+			if err := putUvarint(uint64(e.Partner.Process)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(e.Partner.Index)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a binary-format trace and validates it.
+func ReadBinary(r io.Reader) (*model.Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrCorrupt, err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: name length", ErrCorrupt)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrCorrupt, err)
+	}
+	numProcs, err := binary.ReadUvarint(br)
+	if err != nil || numProcs == 0 || numProcs > maxProcs {
+		return nil, fmt.Errorf("%w: numProcs", ErrCorrupt)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil || count > 1<<32 {
+		return nil, fmt.Errorf("%w: event count", ErrCorrupt)
+	}
+	// Cap the pre-allocation: a corrupt header must not trigger a huge
+	// up-front allocation — truncated input fails while decoding events.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t := &model.Trace{
+		Name:     string(name),
+		NumProcs: int(numProcs),
+		Events:   make([]model.Event, 0, capHint),
+	}
+	for i := uint64(0); i < count; i++ {
+		var e model.Event
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d process: %v", ErrCorrupt, i, err)
+		}
+		idx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d index: %v", ErrCorrupt, i, err)
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d kind: %v", ErrCorrupt, i, err)
+		}
+		e.ID = model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(idx)}
+		e.Kind = model.Kind(kind)
+		if e.Kind != model.Unary {
+			pp, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d partner process: %v", ErrCorrupt, i, err)
+			}
+			pi, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: event %d partner index: %v", ErrCorrupt, i, err)
+			}
+			e.Partner = model.EventID{Process: model.ProcessID(pp), Index: model.EventIndex(pi)}
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// WriteText writes the trace in the line-oriented text format:
+//
+//	# trace <name>
+//	procs <N>
+//	u <proc>:<idx>
+//	s <proc>:<idx> -> <proc>:<idx>
+//	r <proc>:<idx> <- <proc>:<idx>
+//	y <proc>:<idx> <> <proc>:<idx>
+func WriteText(w io.Writer, t *model.Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\nprocs %d\n", t.Name, t.NumProcs); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		var err error
+		switch e.Kind {
+		case model.Unary:
+			_, err = fmt.Fprintf(bw, "u %d:%d\n", e.ID.Process, e.ID.Index)
+		case model.Send:
+			_, err = fmt.Fprintf(bw, "s %d:%d -> %d:%d\n", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+		case model.Receive:
+			_, err = fmt.Fprintf(bw, "r %d:%d <- %d:%d\n", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+		case model.Sync:
+			_, err = fmt.Fprintf(bw, "y %d:%d <> %d:%d\n", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
+		default:
+			err = fmt.Errorf("trace: unknown kind %v", e.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads a text-format trace and validates it.
+func ReadText(r io.Reader) (*model.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	t := &model.Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# trace ") {
+			t.Name = strings.TrimPrefix(line, "# trace ")
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "procs ") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "procs ")))
+			if err != nil || n <= 0 || n > maxProcs {
+				return nil, fmt.Errorf("%w: line %d: bad procs", ErrCorrupt, lineNo)
+			}
+			t.NumProcs = n
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 4 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrCorrupt, lineNo, line)
+		}
+		id, err := parseEventID(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, err)
+		}
+		e := model.Event{ID: id}
+		switch fields[0] {
+		case "u":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("%w: line %d: unary with partner", ErrCorrupt, lineNo)
+			}
+			e.Kind = model.Unary
+		case "s", "r", "y":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("%w: line %d: missing partner", ErrCorrupt, lineNo)
+			}
+			wantArrow := map[string]string{"s": "->", "r": "<-", "y": "<>"}[fields[0]]
+			if fields[2] != wantArrow {
+				return nil, fmt.Errorf("%w: line %d: expected %q", ErrCorrupt, lineNo, wantArrow)
+			}
+			partner, err := parseEventID(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, err)
+			}
+			e.Partner = partner
+			switch fields[0] {
+			case "s":
+				e.Kind = model.Send
+			case "r":
+				e.Kind = model.Receive
+			case "y":
+				e.Kind = model.Sync
+			}
+		default:
+			return nil, fmt.Errorf("%w: line %d: unknown record %q", ErrCorrupt, lineNo, fields[0])
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.NumProcs == 0 {
+		return nil, fmt.Errorf("%w: missing procs header", ErrCorrupt)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+func parseEventID(s string) (model.EventID, error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return model.EventID{}, fmt.Errorf("bad event id %q", s)
+	}
+	p, err1 := strconv.Atoi(s[:i])
+	idx, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || p < 0 || idx <= 0 {
+		return model.EventID{}, fmt.Errorf("bad event id %q", s)
+	}
+	return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(idx)}, nil
+}

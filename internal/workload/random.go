@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"repro/internal/model"
+)
+
+// RandomSparse builds an unstructured but clusterable control: each process
+// is wired to `degree` fixed random partners up front, and messages then
+// flow over random edges of that fixed graph. There is locality (the partner
+// graph is sparse) but no geometric structure.
+func RandomSparse(n, degree, messages int, seed int64) *model.Trace {
+	r := rng(seed)
+	b := model.NewBuilder("", n)
+	type edge struct{ p, q int }
+	var edges []edge
+	seen := map[[2]int]bool{}
+	for p := 0; p < n; p++ {
+		for k := 0; k < degree; k++ {
+			q := r.Intn(n)
+			if q == p {
+				q = (q + 1) % n
+			}
+			key := [2]int{p, q}
+			if p > q {
+				key = [2]int{q, p}
+			}
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, edge{key[0], key[1]})
+			}
+		}
+	}
+	for m := 0; m < messages; m++ {
+		e := edges[r.Intn(len(edges))]
+		if r.Intn(2) == 0 {
+			b.Message(model.ProcessID(e.p), model.ProcessID(e.q))
+		} else {
+			b.Message(model.ProcessID(e.q), model.ProcessID(e.p))
+		}
+		if r.Float64() < 0.3 {
+			b.Unary(model.ProcessID(e.p))
+		}
+	}
+	return b.Trace()
+}
+
+// RandomUniform builds the no-locality worst case: every message chooses
+// both endpoints uniformly at random. No clustering strategy can capture
+// locality that does not exist; this computation anchors the pessimistic end
+// of the corpus.
+func RandomUniform(n, messages int, seed int64) *model.Trace {
+	r := rng(seed)
+	b := model.NewBuilder("", n)
+	for m := 0; m < messages; m++ {
+		p := r.Intn(n)
+		q := r.Intn(n)
+		if q == p {
+			q = (q + 1) % n
+		}
+		b.Message(model.ProcessID(p), model.ProcessID(q))
+	}
+	return b.Trace()
+}
