@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments cover fuzz
+.PHONY: all build vet test race bench bench-json experiments cover fuzz
 
 all: build vet test
 
@@ -18,6 +18,13 @@ race:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Sweep-kernel benchmarks (replay vs kernel paths), committed as JSON so
+# before/after numbers travel with the code.
+bench-json:
+	go test ./internal/experiment/ -run '^$$' \
+		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep' \
+		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 
 # Re-run the paper's full Section 4 evaluation.
 experiments:

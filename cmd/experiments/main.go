@@ -4,12 +4,16 @@
 // (T1-T4), the ablation baselines (A1-A2), the related-work encoding
 // comparison (A3), and the multi-level-hierarchy comparison (H1).
 //
+// Every trace is generated exactly once per invocation: all figures, tables
+// and comparisons draw from one shared experiment.CorpusContext.
+//
 // Usage:
 //
 //	experiments                  # everything
 //	experiments -fig 4           # just Figure 4
 //	experiments -table static    # just the static (T1/T2) analysis
 //	experiments -verbose         # include per-computation detail
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
@@ -25,207 +30,265 @@ import (
 	"repro/internal/workload"
 )
 
+// phaseTimer accumulates wall-clock per evaluation phase for the summary
+// footer.
+type phaseTimer struct {
+	names []string
+	times []time.Duration
+}
+
+func (pt *phaseTimer) run(name string, f func()) {
+	start := time.Now()
+	f()
+	pt.names = append(pt.names, name)
+	pt.times = append(pt.times, time.Since(start))
+}
+
+func (pt *phaseTimer) report() {
+	if len(pt.names) == 0 {
+		return
+	}
+	fmt.Println("phase timings:")
+	for i, name := range pt.names {
+		fmt.Printf("  %-12s %v\n", name, pt.times[i].Round(time.Millisecond))
+	}
+}
+
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "regenerate only this figure (4 or 5)")
-		table   = flag.String("table", "", "regenerate only this table: static | merge1st | nth | ablation | hierarchy | related | figscan")
-		fixed   = flag.Int("fixed", metrics.DefaultFixedVector, "fixed timestamp-encoding vector size")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers")
-		verbose = flag.Bool("verbose", false, "per-computation detail")
-		chart   = flag.Bool("chart", true, "render ASCII charts for figures")
+		fig        = flag.Int("fig", 0, "regenerate only this figure (4 or 5)")
+		table      = flag.String("table", "", "regenerate only this table: static | merge1st | nth | ablation | hierarchy | related | figscan")
+		fixed      = flag.Int("fixed", metrics.DefaultFixedVector, "fixed timestamp-encoding vector size")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep workers")
+		verbose    = flag.Bool("verbose", false, "per-computation detail")
+		chart      = flag.Bool("chart", true, "render ASCII charts for figures")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	sizes := experiment.DefaultSizes()
-	specs := workload.Corpus()
+	cc := experiment.NewCorpusContext(workload.Corpus())
+	var timer phaseTimer
 
 	runFigures := *table == ""
 	runTables := *fig == 0
 
 	if runFigures {
-		for _, f := range []experiment.Figure{experiment.Figure4(), experiment.Figure5()} {
-			if *fig != 0 && f.ID != fmt.Sprintf("figure-%d", *fig) {
-				continue
-			}
-			fd, err := experiment.RunFigure(f, sizes, *fixed)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("== %s: %s\n", f.ID, f.Title)
-			for pi, curves := range fd.Panels {
-				fmt.Printf("-- panel %d: %s\n", pi+1, f.Panels[pi].Computation)
-				fmt.Print(plot.GnuplotData(curves))
-				if *chart {
-					fmt.Print(plot.ASCII(curves, 70, 18, 0.6))
+		timer.run("figures", func() {
+			for _, f := range []experiment.Figure{experiment.Figure4(), experiment.Figure5()} {
+				if *fig != 0 && f.ID != fmt.Sprintf("figure-%d", *fig) {
+					continue
 				}
-				for _, c := range curves {
-					bs, br := c.Best()
-					fmt.Printf("   %-14s best %.4f at maxCS=%d, total variation %.3f\n",
-						c.Strategy, br, bs, c.TotalVariation())
+				fd, err := cc.RunFigure(f, sizes, *fixed)
+				if err != nil {
+					fatal(err)
 				}
-			}
-			fmt.Println()
-		}
-	}
-
-	if !runTables {
-		return
-	}
-
-	sweep := func(strat string) []*metrics.Curve {
-		cs, err := experiment.CorpusSweep(specs, strat, sizes, *fixed, *workers)
-		if err != nil {
-			fatal(err)
-		}
-		return cs
-	}
-	detail := func(curves []*metrics.Curve) {
-		if !*verbose {
-			return
-		}
-		for _, c := range curves {
-			bs, br := c.Best()
-			fmt.Printf("    %-24s best %.4f @%2d  within-20%%: %v\n", c.Computation, br, bs, c.WithinFactor(metrics.DefaultFactor))
-		}
-	}
-
-	if *table == "" || *table == "static" {
-		curves := sweep(experiment.StratStatic)
-		fmt.Print(experiment.FormatStatic(experiment.AnalyzeStatic(curves)))
-		detail(curves)
-		fmt.Println()
-	}
-	if *table == "" || *table == "merge1st" {
-		curves := sweep(experiment.StratMerge1st)
-		fmt.Print(experiment.FormatMerge1st(experiment.AnalyzeMerge1st(curves)))
-		detail(curves)
-		fmt.Println()
-	}
-	if *table == "" || *table == "nth" {
-		curves := sweep(experiment.StratMergeNth10)
-		fmt.Print(experiment.FormatNth(experiment.AnalyzeNth(curves)))
-		detail(curves)
-		fmt.Println()
-	}
-	if *table == "figscan" {
-		// Diagnostics used to choose the two figure sample computations:
-		// per computation, how much worse static gets than merge-on-1st
-		// anywhere on the sweep (the paper's upper panel shows up to 5%),
-		// and the curves' total variation (the lower panel contrasts a
-		// smooth static curve with a size-sensitive merge-on-1st curve).
-		staticCurves := sweep(experiment.StratStatic)
-		m1Curves := sweep(experiment.StratMerge1st)
-		byName := map[string]*metrics.Curve{}
-		for _, c := range m1Curves {
-			byName[c.Computation] = c
-		}
-		fmt.Printf("%-24s %9s %9s %8s %8s %8s\n", "computation", "staticBst", "m1Best", "maxGap%", "TVstat", "TVm1")
-		for _, sc := range staticCurves {
-			mc := byName[sc.Computation]
-			_, sb := sc.Best()
-			_, mb := mc.Best()
-			gap := 0.0
-			for i, s := range sc.MaxCS {
-				if mr, ok := mc.At(s); ok && mr > 0 {
-					if g := (sc.Ratio[i] - mr) / mr; g > gap {
-						gap = g
+				fmt.Printf("== %s: %s\n", f.ID, f.Title)
+				for pi, curves := range fd.Panels {
+					fmt.Printf("-- panel %d: %s\n", pi+1, f.Panels[pi].Computation)
+					fmt.Print(plot.GnuplotData(curves))
+					if *chart {
+						fmt.Print(plot.ASCII(curves, 70, 18, 0.6))
+					}
+					for _, c := range curves {
+						bs, br := c.Best()
+						fmt.Printf("   %-14s best %.4f at maxCS=%d, total variation %.3f\n",
+							c.Strategy, br, bs, c.TotalVariation())
 					}
 				}
+				fmt.Println()
 			}
-			fmt.Printf("%-24s %9.4f %9.4f %8.1f %8.3f %8.3f\n",
-				sc.Computation, sb, mb, gap*100, sc.TotalVariation(), mc.TotalVariation())
-		}
-		return
+		})
 	}
 
-	if *table == "" || *table == "ablation" {
-		// The ablation baselines run on a representative subset at a
-		// coarser size grid: the k-medoid/k-means strategies are O(N^2)
-		// per sweep point and the comparison is qualitative (Section 3.1).
-		subset := ablationSubset(specs)
-		coarse := []int{4, 8, 12, 16, 24, 32, 50}
-		staticCurves, err := experiment.CorpusSweep(subset, experiment.StratStatic, coarse, *fixed, *workers)
+	if runTables {
+		sweep := func(strat string) []*metrics.Curve {
+			cs, err := cc.Sweep(strat, sizes, *fixed, *workers)
+			if err != nil {
+				fatal(err)
+			}
+			return cs
+		}
+		detail := func(curves []*metrics.Curve) {
+			if !*verbose {
+				return
+			}
+			for _, c := range curves {
+				bs, br := c.Best()
+				fmt.Printf("    %-24s best %.4f @%2d  within-20%%: %v\n", c.Computation, br, bs, c.WithinFactor(metrics.DefaultFactor))
+			}
+		}
+
+		if *table == "" || *table == "static" {
+			timer.run("static", func() {
+				curves := sweep(experiment.StratStatic)
+				fmt.Print(experiment.FormatStatic(experiment.AnalyzeStatic(curves)))
+				detail(curves)
+				fmt.Println()
+			})
+		}
+		if *table == "" || *table == "merge1st" {
+			timer.run("merge1st", func() {
+				curves := sweep(experiment.StratMerge1st)
+				fmt.Print(experiment.FormatMerge1st(experiment.AnalyzeMerge1st(curves)))
+				detail(curves)
+				fmt.Println()
+			})
+		}
+		if *table == "" || *table == "nth" {
+			timer.run("nth", func() {
+				curves := sweep(experiment.StratMergeNth10)
+				fmt.Print(experiment.FormatNth(experiment.AnalyzeNth(curves)))
+				detail(curves)
+				fmt.Println()
+			})
+		}
+		if *table == "figscan" {
+			// Diagnostics used to choose the two figure sample computations:
+			// per computation, how much worse static gets than merge-on-1st
+			// anywhere on the sweep (the paper's upper panel shows up to 5%),
+			// and the curves' total variation (the lower panel contrasts a
+			// smooth static curve with a size-sensitive merge-on-1st curve).
+			staticCurves := sweep(experiment.StratStatic)
+			m1Curves := sweep(experiment.StratMerge1st)
+			byName := map[string]*metrics.Curve{}
+			for _, c := range m1Curves {
+				byName[c.Computation] = c
+			}
+			fmt.Printf("%-24s %9s %9s %8s %8s %8s\n", "computation", "staticBst", "m1Best", "maxGap%", "TVstat", "TVm1")
+			for _, sc := range staticCurves {
+				mc := byName[sc.Computation]
+				_, sb := sc.Best()
+				_, mb := mc.Best()
+				gap := 0.0
+				for i, s := range sc.MaxCS {
+					if mr, ok := mc.At(s); ok && mr > 0 {
+						if g := (sc.Ratio[i] - mr) / mr; g > gap {
+							gap = g
+						}
+					}
+				}
+				fmt.Printf("%-24s %9.4f %9.4f %8.1f %8.3f %8.3f\n",
+					sc.Computation, sb, mb, gap*100, sc.TotalVariation(), mc.TotalVariation())
+			}
+			return
+		}
+
+		if *table == "" || *table == "ablation" {
+			timer.run("ablation", func() {
+				// The ablation baselines run on a representative subset at a
+				// coarser size grid: the k-medoid/k-means strategies are O(N^2)
+				// per sweep point and the comparison is qualitative (Section 3.1).
+				subset, err := cc.Subset(ablationNames()...)
+				if err != nil {
+					fatal(err)
+				}
+				coarse := []int{4, 8, 12, 16, 24, 32, 50}
+				staticCurves, err := subset.Sweep(experiment.StratStatic, coarse, *fixed, *workers)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println("A1/A2  ablation baselines (subset of corpus, coarse sweep)")
+				for _, strat := range []string{experiment.StratContiguous, experiment.StratKMedoid, experiment.StratKMeans} {
+					base, err := subset.Sweep(strat, coarse, *fixed, *workers)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Print("  " + experiment.FormatAblation(experiment.AnalyzeAblation(strat, base, staticCurves)))
+				}
+				fmt.Println()
+			})
+		}
+
+		if *table == "" || *table == "hierarchy" {
+			timer.run("hierarchy", func() {
+				// H1: the recursive (multi-level) hierarchy of Section 2.3 —
+				// the paper evaluates two levels; deeper levels shrink the
+				// cluster-receive penalty on the largest computations.
+				fmt.Println("H1  multi-level hierarchy (two explicit levels vs one)")
+				for _, name := range []string{"pvm/ring-300", "pvm/stencil2d-300", "java/webtier-300", "dce/rpc-288"} {
+					tc, ok := cc.ByName(name)
+					if !ok {
+						fatal(fmt.Errorf("missing corpus spec %s", name))
+					}
+					r, err := experiment.CompareHierarchy(tc, 13, 60, *fixed)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Print("  " + experiment.FormatHierarchy(r))
+				}
+				fmt.Println()
+			})
+		}
+
+		if *table == "" || *table == "related" {
+			timer.run("related", func() {
+				// A3: the related-work encodings of Section 2.4 on a subset —
+				// differential (paper: no more than a factor of three) and
+				// direct-dependency vectors (tiny but with linear-time queries).
+				fmt.Println("A3  related-work encodings (Section 2.4)")
+				for _, name := range []string{"pvm/ring-64", "pvm/stencil2d-96", "java/webtier-124", "dce/rpc-72"} {
+					tc, ok := cc.ByName(name)
+					if !ok {
+						fatal(fmt.Errorf("missing corpus spec %s", name))
+					}
+					r, err := experiment.CompareRelated(tc, 13, *fixed)
+					if err != nil {
+						fatal(err)
+					}
+					fmt.Print("  " + experiment.FormatRelated(r))
+				}
+				fmt.Println()
+			})
+		}
+	}
+
+	timer.report()
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("A1/A2  ablation baselines (subset of corpus, coarse sweep)")
-		for _, strat := range []string{experiment.StratContiguous, experiment.StratKMedoid, experiment.StratKMeans} {
-			base, err := experiment.CorpusSweep(subset, strat, coarse, *fixed, *workers)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Print("  " + experiment.FormatAblation(experiment.AnalyzeAblation(strat, base, staticCurves)))
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
 		}
-		fmt.Println()
 	}
-
-	if *table == "" || *table == "hierarchy" {
-		// H1: the recursive (multi-level) hierarchy of Section 2.3 —
-		// the paper evaluates two levels; deeper levels shrink the
-		// cluster-receive penalty on the largest computations.
-		fmt.Println("H1  multi-level hierarchy (two explicit levels vs one)")
-		for _, name := range []string{"pvm/ring-300", "pvm/stencil2d-300", "java/webtier-300", "dce/rpc-288"} {
-			spec, ok := workload.Find(name)
-			if !ok {
-				fatal(fmt.Errorf("missing corpus spec %s", name))
-			}
-			tc := experiment.NewTraceContext(spec.Generate())
-			r, err := experiment.CompareHierarchy(tc, 13, 60, *fixed)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Print("  " + experiment.FormatHierarchy(r))
-		}
-		fmt.Println()
-	}
-
-	if *table == "" || *table == "related" {
-		// A3: the related-work encodings of Section 2.4 on a subset —
-		// differential (paper: no more than a factor of three) and
-		// direct-dependency vectors (tiny but with linear-time queries).
-		fmt.Println("A3  related-work encodings (Section 2.4)")
-		for _, name := range []string{"pvm/ring-64", "pvm/stencil2d-96", "java/webtier-124", "dce/rpc-72"} {
-			spec, ok := workload.Find(name)
-			if !ok {
-				fatal(fmt.Errorf("missing corpus spec %s", name))
-			}
-			tc := experiment.NewTraceContext(spec.Generate())
-			r, err := experiment.CompareRelated(tc, 13, *fixed)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Print("  " + experiment.FormatRelated(r))
-		}
-		fmt.Println()
-	}
-
-	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// ablationSubset picks a spread of computations across environments and
+// ablationNames picks a spread of computations across environments and
 // sizes for the qualitative A1/A2 comparisons.
-func ablationSubset(specs []workload.Spec) []workload.Spec {
-	want := map[string]bool{
-		"pvm/ring-64":         true,
-		"pvm/stencil2d-96":    true,
-		"pvm/stencil2d-252":   true,
-		"pvm/hiersg-121":      true,
-		"pvm/treereduce-127":  true,
-		"pvm/cowichan-48":     true,
-		"java/webtier-124":    true,
-		"java/session-97":     true,
-		"java/threadpool-168": true,
-		"dce/rpc-72":          true,
-		"dce/repldir-96":      true,
+func ablationNames() []string {
+	return []string{
+		"pvm/ring-64",
+		"pvm/stencil2d-96",
+		"pvm/stencil2d-252",
+		"pvm/hiersg-121",
+		"pvm/treereduce-127",
+		"pvm/cowichan-48",
+		"java/webtier-124",
+		"java/session-97",
+		"java/threadpool-168",
+		"dce/rpc-72",
+		"dce/repldir-96",
 	}
-	var out []workload.Spec
-	for _, s := range specs {
-		if want[s.Name] {
-			out = append(out, s)
-		}
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -34,14 +34,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// All trace access goes through one shared CorpusContext so a given
+	// computation is generated at most once per invocation.
+	cc := experiment.NewCorpusContext(workload.Corpus())
+
 	if *list {
-		for _, s := range workload.Corpus() {
-			tr := s.Generate()
-			fmt.Printf("%-24s %4d procs %7d events\n", s.Name, s.Procs, tr.NumEvents())
+		for i, s := range cc.Specs() {
+			fmt.Printf("%-24s %4d procs %7d events\n", s.Name, s.Procs, cc.At(i).Trace.NumEvents())
 		}
 		return
 	}
-	spec, ok := workload.Find(*traceName)
+	tc, ok := cc.ByName(*traceName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sweep: unknown computation %q (use -list)\n", *traceName)
 		os.Exit(2)
@@ -55,7 +58,6 @@ func main() {
 		sizes = append(sizes, s)
 	}
 
-	tc := experiment.NewTraceContext(spec.Generate())
 	var curves []*metrics.Curve
 	for _, strat := range strings.Split(*strategies, ",") {
 		strat = strings.TrimSpace(strat)
@@ -72,7 +74,7 @@ func main() {
 
 	st := tc.Trace.Stats()
 	fmt.Printf("# %s: %d procs, %d events (%d msgs, %d sync pairs), fixed vector %d\n",
-		spec.Name, st.NumProcs, st.NumEvents, st.Messages, st.SyncPairs, *fixed)
+		tc.Trace.Name, st.NumProcs, st.NumEvents, st.Messages, st.SyncPairs, *fixed)
 
 	if *gnuplot {
 		fmt.Print(plot.GnuplotData(curves))

@@ -152,6 +152,26 @@ func Contiguous(numProcs, maxCS int) [][]int32 {
 	return groups
 }
 
+// Clone returns an independent partition in the same state as p. The
+// immutable Info records are shared, not copied — a merge in either
+// partition creates fresh Infos and cannot disturb the other — so cloning
+// skips the per-cluster member-set allocation that makes NewSingletons
+// expensive. Sweep harnesses replaying many configurations over the same
+// process set keep one prototype and Clone it per replay.
+func (p *Partition) Clone() *Partition {
+	q := &Partition{
+		numProcs: p.numProcs,
+		byProc:   append([]*Info(nil), p.byProc...),
+		live:     make(map[ID]*Info, len(p.live)),
+		nextID:   p.nextID,
+		merges:   p.merges,
+	}
+	for id, inf := range p.live {
+		q.live[id] = inf
+	}
+	return q
+}
+
 // NumProcs returns the number of processes partitioned.
 func (p *Partition) NumProcs() int { return p.numProcs }
 

@@ -296,3 +296,39 @@ func TestMigratePanics(t *testing.T) {
 		p.Migrate(0, a.ID)
 	})
 }
+
+func TestClone(t *testing.T) {
+	p := NewSingletons(6)
+	p.Merge(p.ClusterOf(0).ID, p.ClusterOf(1).ID)
+
+	q := p.Clone()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	if q.NumProcs() != p.NumProcs() || q.NumLive() != p.NumLive() || q.Merges() != p.Merges() {
+		t.Fatalf("clone state (%d,%d,%d) != original (%d,%d,%d)",
+			q.NumProcs(), q.NumLive(), q.Merges(), p.NumProcs(), p.NumLive(), p.Merges())
+	}
+	for proc := int32(0); proc < 6; proc++ {
+		if q.ClusterOf(proc) != p.ClusterOf(proc) {
+			t.Fatalf("clone does not share process %d's Info record", proc)
+		}
+	}
+
+	// Merging in the clone must not disturb the original: Infos are
+	// immutable, so fresh merges create fresh records on the clone only.
+	q.Merge(q.ClusterOf(2).ID, q.ClusterOf(3).ID)
+	if p.NumLive() != 5 || p.Merges() != 1 {
+		t.Fatalf("original mutated by clone merge: live=%d merges=%d", p.NumLive(), p.Merges())
+	}
+	if q.NumLive() != 4 || q.Merges() != 2 {
+		t.Fatalf("clone merge not recorded: live=%d merges=%d", q.NumLive(), q.Merges())
+	}
+	if p.ClusterOf(2).Size() != 1 || q.ClusterOf(2).Size() != 2 {
+		t.Fatalf("member sets entangled: original size %d, clone size %d",
+			p.ClusterOf(2).Size(), q.ClusterOf(2).Size())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original invalid after clone merge: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ package commgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -28,6 +29,9 @@ type Graph struct {
 	counts map[uint64]int64
 	total  int64
 	degree []int // number of distinct partners per process
+
+	mu    sync.Mutex
+	edges []Edge // sorted Edges cache; invalidated by Add
 }
 
 func pairKey(p, q int32) uint64 {
@@ -69,6 +73,11 @@ func (g *Graph) Add(p, q int32, occurrences int64) {
 	if p < 0 || int(p) >= g.n || q < 0 || int(q) >= g.n {
 		panic(fmt.Sprintf("commgraph: edge (%d,%d) out of range [0,%d)", p, q, g.n))
 	}
+	if g.edges != nil {
+		g.mu.Lock()
+		g.edges = nil // invalidate the sorted cache
+		g.mu.Unlock()
+	}
 	k := pairKey(p, q)
 	if _, existed := g.counts[k]; !existed {
 		g.degree[p]++
@@ -95,19 +104,40 @@ func (g *Graph) NumEdges() int { return len(g.counts) }
 // Degree returns the number of distinct communication partners of p.
 func (g *Graph) Degree(p int32) int { return g.degree[p] }
 
-// Edges returns all edges sorted by (P, Q) for deterministic iteration.
+// Edges returns all edges sorted by (P, Q) for deterministic iteration. The
+// slice is cached — callers must not modify it — and invalidated by Add, so
+// graphs that interleave mutation and iteration (the batch timestamper)
+// still see fresh views while the sweep, which calls Edges once per cell on
+// a long-completed graph, pays the sort exactly once. Concurrent Edges
+// calls on a quiescent graph are safe; Add is not safe concurrently with
+// either Add or Edges (and never was).
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.counts))
-	for k, c := range g.counts {
-		out = append(out, Edge{P: int32(k >> 32), Q: int32(uint32(k)), Count: c})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].P != out[j].P {
-			return out[i].P < out[j].P
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.edges == nil {
+		out := make([]Edge, 0, len(g.counts))
+		for k, c := range g.counts {
+			out = append(out, Edge{P: int32(k >> 32), Q: int32(uint32(k)), Count: c})
 		}
-		return out[i].Q < out[j].Q
-	})
-	return out
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].P != out[j].P {
+				return out[i].P < out[j].P
+			}
+			return out[i].Q < out[j].Q
+		})
+		g.edges = out
+	}
+	return g.edges
+}
+
+// ForEachEdge calls f once per distinct communicating pair with its
+// occurrence count, in unspecified order. It allocates nothing, unlike
+// Edges; use it for order-insensitive aggregation (the O(edges) closed-form
+// accounting sums cross-partition counts through it on every sweep point).
+func (g *Graph) ForEachEdge(f func(p, q int32, count int64)) {
+	for k, c := range g.counts {
+		f(int32(k>>32), int32(uint32(k)), c)
+	}
 }
 
 // Neighbors returns the distinct partners of process p in ascending order.

@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// corpusEntry pairs a spec with its lazily generated TraceContext. Entries
+// are shared by pointer between a CorpusContext and its Subset views, so a
+// trace is generated at most once per process however many sweeps, figures
+// and tables touch it.
+type corpusEntry struct {
+	spec workload.Spec
+	once sync.Once
+	tc   *TraceContext
+}
+
+func (e *corpusEntry) context() *TraceContext {
+	e.once.Do(func() { e.tc = NewTraceContext(e.spec.Generate()) })
+	return e.tc
+}
+
+// CorpusContext shares generated traces and their derived artifacts
+// (communication graphs, receive streams, prototype partitions) across every
+// consumer of a corpus: strategy sweeps, figure panels, and the hierarchy
+// and related-work comparisons. The pre-kernel harness regenerated the full
+// corpus once per strategy sweep — eight times per cmd/experiments run;
+// routing all consumers through one CorpusContext makes generation a
+// one-time cost.
+//
+// CorpusContext is safe for concurrent use.
+type CorpusContext struct {
+	entries []*corpusEntry
+	byName  map[string]int
+}
+
+// NewCorpusContext builds a context over the given specs (typically
+// workload.Corpus()).
+func NewCorpusContext(specs []workload.Spec) *CorpusContext {
+	cc := &CorpusContext{
+		entries: make([]*corpusEntry, len(specs)),
+		byName:  make(map[string]int, len(specs)),
+	}
+	for i, s := range specs {
+		cc.entries[i] = &corpusEntry{spec: s}
+		cc.byName[s.Name] = i
+	}
+	return cc
+}
+
+// Len returns the number of computations in the context.
+func (cc *CorpusContext) Len() int { return len(cc.entries) }
+
+// Specs returns the specs in context order.
+func (cc *CorpusContext) Specs() []workload.Spec {
+	out := make([]workload.Spec, len(cc.entries))
+	for i, e := range cc.entries {
+		out[i] = e.spec
+	}
+	return out
+}
+
+// At returns the TraceContext of the i'th computation, generating the trace
+// on first use.
+func (cc *CorpusContext) At(i int) *TraceContext { return cc.entries[i].context() }
+
+// ByName returns the TraceContext of the named computation, generating the
+// trace on first use.
+func (cc *CorpusContext) ByName(name string) (*TraceContext, bool) {
+	i, ok := cc.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return cc.At(i), true
+}
+
+// Subset returns a view over the named computations that shares the parent's
+// entries: traces generated through either context are visible to both. The
+// ablation tables sweep a subset of the corpus; sharing keeps those sweeps
+// from regenerating traces the full-corpus sweeps already built.
+func (cc *CorpusContext) Subset(names ...string) (*CorpusContext, error) {
+	sub := &CorpusContext{
+		entries: make([]*corpusEntry, 0, len(names)),
+		byName:  make(map[string]int, len(names)),
+	}
+	for _, name := range names {
+		i, ok := cc.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("experiment: subset computation %q not in corpus", name)
+		}
+		sub.byName[name] = len(sub.entries)
+		sub.entries = append(sub.entries, cc.entries[i])
+	}
+	return sub, nil
+}
+
+// Sweep runs one strategy across every computation of the context and
+// returns the curves ordered by computation name.
+//
+// The work queue is flattened to (computation, maxCS) cells rather than
+// whole computations: a 50k-event trace then occupies a worker for one sweep
+// point at a time instead of serializing its entire 49-point sweep, so large
+// traces cannot straggle the corpus. Cells are independent — every point
+// replays from a fresh partition state — so cell order cannot affect
+// results.
+func (cc *CorpusContext) Sweep(strat string, sizes []int, fixedVector, workers int) ([]*metrics.Curve, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nComp, nSize := len(cc.entries), len(sizes)
+	curves := make([]*metrics.Curve, nComp)
+	for i := range curves {
+		curves[i] = &metrics.Curve{
+			Strategy: strat,
+			MaxCS:    append([]int(nil), sizes...),
+			Ratio:    make([]float64, nSize),
+		}
+	}
+	errs := make([]error, nComp*nSize)
+
+	type cell struct{ comp, size int }
+	jobs := make(chan cell, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc scratch
+			for c := range jobs {
+				tc := cc.At(c.comp)
+				pt, err := runPoint(tc, strat, sizes[c.size], fixedVector, &sc)
+				if err != nil {
+					errs[c.comp*nSize+c.size] = fmt.Errorf("experiment: %s maxCS=%d on %s: %w", strat, sizes[c.size], tc.Trace.Name, err)
+					continue
+				}
+				curves[c.comp].Ratio[c.size] = pt.Ratio
+			}
+		}()
+	}
+	for i := 0; i < nComp; i++ {
+		for j := 0; j < nSize; j++ {
+			jobs <- cell{comp: i, size: j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range curves {
+		c.Computation = cc.At(i).Trace.Name
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(curves, func(i, j int) bool { return curves[i].Computation < curves[j].Computation })
+	return curves, nil
+}
+
+// RunFigure computes all curves of a figure, drawing panel traces from the
+// shared context (computations outside the context are generated standalone,
+// matching the package-level RunFigure).
+func (cc *CorpusContext) RunFigure(fig Figure, sizes []int, fixedVector int) (*FigureData, error) {
+	fd := &FigureData{Figure: fig}
+	for _, p := range fig.Panels {
+		tc, ok := cc.ByName(p.Computation)
+		if !ok {
+			spec, found := workload.Find(p.Computation)
+			if !found {
+				return nil, fmt.Errorf("experiment: figure %s: unknown computation %q", fig.ID, p.Computation)
+			}
+			tc = NewTraceContext(spec.Generate())
+		}
+		var curves []*metrics.Curve
+		for _, strat := range p.Strategies {
+			c, err := Sweep(tc, strat, sizes, fixedVector)
+			if err != nil {
+				return nil, err
+			}
+			curves = append(curves, c)
+		}
+		fd.Panels = append(fd.Panels, curves)
+	}
+	return fd, nil
+}
+
+// CorpusSweep runs one strategy across every computation of the given specs,
+// in parallel, returning the curves ordered by computation name. It is a
+// convenience wrapper over a throwaway CorpusContext; callers sweeping more
+// than one strategy should build a CorpusContext once and use its Sweep so
+// traces are generated a single time.
+func CorpusSweep(specs []workload.Spec, strat string, sizes []int, fixedVector, workers int) ([]*metrics.Curve, error) {
+	return NewCorpusContext(specs).Sweep(strat, sizes, fixedVector, workers)
+}

@@ -2,13 +2,25 @@
 // Section 4 experiments — maximum-cluster-size sweeps of every clustering
 // strategy over the computation corpus — and produces the figure series and
 // summary tables.
+//
+// The harness is built as a layered sweep kernel. Every sweep point needs an
+// hct.Result for one (trace, strategy, maxCS) configuration, and there are
+// three ways to get one, from most to least general:
+//
+//   - event replay (hct.Accountant.ObserveAll): the reference path, valid
+//     for any configuration — ReplayPoint keeps it available;
+//   - compact stream replay (hct.Accountant.ObserveStream): valid for any
+//     configuration, since deciders observe only the ordered sequence of
+//     receive pairs — used for the dynamic merge strategies;
+//   - closed form (hct.StaticResult): O(edges) instead of O(events), valid
+//     only when clusters never merge — used for the static clusterings.
+//
+// The three paths are property-tested to agree exactly on the whole corpus.
 package experiment
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/cluster"
@@ -17,7 +29,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/strategy"
-	"repro/internal/workload"
 )
 
 // Strategy names under comparison. Section 4 compares four algorithms
@@ -53,14 +64,23 @@ func DefaultSizes() []int {
 }
 
 // TraceContext caches the per-trace artifacts shared across sweep points:
-// the trace itself and its communication graph (used by the static
-// strategies). Build one per computation and reuse it for every strategy
-// and maxCS.
+// the trace itself, its communication graph (used by the static strategies
+// and the closed-form accounting), its compact receive stream (used by the
+// dynamic strategies), and a prototype singleton partition cloned per
+// replay. Build one per computation and reuse it for every strategy and
+// maxCS; all cached artifacts are built lazily and safely under concurrent
+// access.
 type TraceContext struct {
 	Trace *model.Trace
 
 	graphOnce sync.Once
 	graph     *commgraph.Graph
+
+	streamOnce sync.Once
+	stream     []model.ReceivePair
+
+	protoOnce sync.Once
+	proto     *cluster.Partition
 }
 
 // NewTraceContext wraps a generated trace.
@@ -74,6 +94,22 @@ func (tc *TraceContext) Graph() *commgraph.Graph {
 	return tc.graph
 }
 
+// Stream returns the (cached) compact receive stream of the trace: one
+// 8-byte pair per receive-kind event, in delivery order. Callers must not
+// mutate it.
+func (tc *TraceContext) Stream() []model.ReceivePair {
+	tc.streamOnce.Do(func() { tc.stream = model.ReceiveStreamOf(tc.Trace) })
+	return tc.stream
+}
+
+// singletons returns a clone of the cached prototype singleton partition —
+// the dynamic strategies' starting state — without rebuilding the
+// per-cluster member sets on every sweep point.
+func (tc *TraceContext) singletons() *cluster.Partition {
+	tc.protoOnce.Do(func() { tc.proto = cluster.NewSingletons(tc.Trace.NumProcs) })
+	return tc.proto.Clone()
+}
+
 // Point is one sweep measurement.
 type Point struct {
 	MaxCS  int
@@ -84,56 +120,50 @@ type Point struct {
 	ClusterVector int
 }
 
-// RunPoint measures one (strategy, maxCS) configuration on a trace.
-func RunPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, error) {
-	tr := tc.Trace
-	n := tr.NumProcs
+// scratch holds per-worker reusable state for the sweep kernel: the
+// merge-on-Nth deciders keep a pair-count matrix that is cleared and reused
+// across sweep points rather than reallocated. A scratch must not be shared
+// between goroutines; the zero value is ready to use.
+type scratch struct {
+	nth map[float64]*strategy.MergeOnNth
+}
 
-	if strat == StratFM {
-		// Fidge/Mattern: every event stores the fixed vector; ratio 1.
-		return Point{
-			MaxCS:         maxCS,
-			Ratio:         1.0,
-			Result:        hct.Result{Events: tr.NumEvents(), ClusterReceives: tr.NumEvents(), MaxClusterSize: maxCS},
-			ClusterVector: fixedVector,
-		}, nil
+// mergeOnNth returns a reset pooled decider for the given threshold.
+func (sc *scratch) mergeOnNth(threshold float64) *strategy.MergeOnNth {
+	if sc.nth == nil {
+		sc.nth = make(map[float64]*strategy.MergeOnNth)
 	}
+	d, ok := sc.nth[threshold]
+	if !ok {
+		d = strategy.NewMergeOnNth(threshold)
+		sc.nth[threshold] = d
+	} else {
+		d.Reset()
+	}
+	return d
+}
 
-	cfg := hct.Config{MaxClusterSize: maxCS}
+// mergeOnFirst is shared across all workers: the decider is stateless.
+var mergeOnFirst = strategy.NewMergeOnFirst()
+
+// staticConfig builds the partition of a never-merge strategy. The second
+// result is the cluster-vector size to charge projections with.
+func staticConfig(tc *TraceContext, strat string, maxCS int) (*cluster.Partition, int, error) {
+	n := tc.Trace.NumProcs
 	clusterVector := maxCS
+	var groups [][]int32
 	switch strat {
-	case StratMerge1st:
-		cfg.Decider = strategy.NewMergeOnFirst()
-	case StratMergeNth5:
-		cfg.Decider = strategy.NewMergeOnNth(5)
-	case StratMergeNth10:
-		cfg.Decider = strategy.NewMergeOnNth(10)
 	case StratStatic:
-		groups := strategy.StaticGreedy(tc.Graph(), maxCS)
-		part, err := cluster.NewFromGroups(n, groups)
-		if err != nil {
-			return Point{}, fmt.Errorf("experiment: static clustering: %w", err)
-		}
-		cfg.Partition = part
+		groups = strategy.StaticGreedy(tc.Graph(), maxCS)
 	case StratContiguous:
-		part, err := cluster.NewFromGroups(n, cluster.Contiguous(n, maxCS))
-		if err != nil {
-			return Point{}, fmt.Errorf("experiment: contiguous clustering: %w", err)
-		}
-		cfg.Partition = part
+		groups = cluster.Contiguous(n, maxCS)
 	case StratKMedoid, StratKMeans:
 		k := (n + maxCS - 1) / maxCS
-		var groups [][]int32
 		if strat == StratKMedoid {
 			groups = strategy.KMedoid(tc.Graph(), k, 20)
 		} else {
 			groups = strategy.KMeansStyle(tc.Graph(), k, 20)
 		}
-		part, err := cluster.NewFromGroups(n, groups)
-		if err != nil {
-			return Point{}, fmt.Errorf("experiment: %s clustering: %w", strat, err)
-		}
-		cfg.Partition = part
 		// These clusterings are not size-bounded: charge projection
 		// timestamps at the size of the largest cluster actually built.
 		for _, g := range groups {
@@ -142,13 +172,39 @@ func RunPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, er
 			}
 		}
 	default:
-		return Point{}, fmt.Errorf("experiment: unknown strategy %q", strat)
+		return nil, 0, fmt.Errorf("experiment: unknown strategy %q", strat)
 	}
-
-	res, err := hct.ResultOf(tr, cfg)
+	part, err := cluster.NewFromGroups(n, groups)
 	if err != nil {
-		return Point{}, err
+		return nil, 0, fmt.Errorf("experiment: %s clustering: %w", strat, err)
 	}
+	return part, clusterVector, nil
+}
+
+// isStatic reports whether the strategy fixes its clusters up front and
+// never merges during the replay — the precondition for the closed-form
+// accounting path.
+func isStatic(strat string) bool {
+	switch strat {
+	case StratStatic, StratContiguous, StratKMedoid, StratKMeans:
+		return true
+	}
+	return false
+}
+
+// fmPoint is the Fidge/Mattern pseudo-sweep point: every event stores the
+// fixed vector; ratio 1 by definition.
+func fmPoint(tc *TraceContext, maxCS, fixedVector int) Point {
+	return Point{
+		MaxCS:         maxCS,
+		Ratio:         1.0,
+		Result:        hct.Result{Events: tc.Trace.NumEvents(), ClusterReceives: tc.Trace.NumEvents(), MaxClusterSize: maxCS},
+		ClusterVector: fixedVector,
+	}
+}
+
+// finishPoint converts an accounting result into a sweep point.
+func finishPoint(res hct.Result, maxCS, fixedVector, clusterVector int) Point {
 	ratio := res.AverageRatioWithVector(fixedVector, clusterVector)
 	// The fixed-vector encoding caps a timestamp's cost at the full
 	// vector; a ratio above 1 would mean the tool stores more than
@@ -156,11 +212,101 @@ func RunPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, er
 	if ratio > 1 {
 		ratio = 1
 	}
-	return Point{MaxCS: maxCS, Ratio: ratio, Result: res, ClusterVector: clusterVector}, nil
+	return Point{MaxCS: maxCS, Ratio: ratio, Result: res, ClusterVector: clusterVector}
+}
+
+// runPoint is the sweep kernel: it measures one (strategy, maxCS)
+// configuration on a trace along the cheapest valid accounting path. sc may
+// be nil (fresh deciders are then allocated).
+func runPoint(tc *TraceContext, strat string, maxCS, fixedVector int, sc *scratch) (Point, error) {
+	if strat == StratFM {
+		return fmPoint(tc, maxCS, fixedVector), nil
+	}
+
+	if isStatic(strat) {
+		part, clusterVector, err := staticConfig(tc, strat, maxCS)
+		if err != nil {
+			return Point{}, err
+		}
+		res, err := hct.StaticResult(tc.Graph(), tc.Trace.NumEvents(), hct.Config{MaxClusterSize: maxCS, Partition: part})
+		if err != nil {
+			return Point{}, err
+		}
+		return finishPoint(res, maxCS, fixedVector, clusterVector), nil
+	}
+
+	cfg := hct.Config{MaxClusterSize: maxCS, Partition: tc.singletons()}
+	switch strat {
+	case StratMerge1st:
+		cfg.Decider = mergeOnFirst
+	case StratMergeNth5:
+		if sc != nil {
+			cfg.Decider = sc.mergeOnNth(5)
+		} else {
+			cfg.Decider = strategy.NewMergeOnNth(5)
+		}
+	case StratMergeNth10:
+		if sc != nil {
+			cfg.Decider = sc.mergeOnNth(10)
+		} else {
+			cfg.Decider = strategy.NewMergeOnNth(10)
+		}
+	default:
+		return Point{}, fmt.Errorf("experiment: unknown strategy %q", strat)
+	}
+	a, err := hct.NewAccountant(tc.Trace.NumProcs, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	a.ObserveStream(tc.Stream(), tc.Trace.NumEvents())
+	return finishPoint(a.Result(), maxCS, fixedVector, maxCS), nil
+}
+
+// RunPoint measures one (strategy, maxCS) configuration on a trace.
+func RunPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, error) {
+	return runPoint(tc, strat, maxCS, fixedVector, nil)
+}
+
+// ReplayPoint measures one (strategy, maxCS) configuration by replaying the
+// full event trace through the hct.Accountant — the reference accounting
+// path predating the sweep kernel. It is retained for the equivalence
+// property tests and the before/after benchmarks; RunPoint must produce an
+// identical Point for every configuration.
+func ReplayPoint(tc *TraceContext, strat string, maxCS, fixedVector int) (Point, error) {
+	if strat == StratFM {
+		return fmPoint(tc, maxCS, fixedVector), nil
+	}
+
+	cfg := hct.Config{MaxClusterSize: maxCS}
+	clusterVector := maxCS
+	if isStatic(strat) {
+		part, cv, err := staticConfig(tc, strat, maxCS)
+		if err != nil {
+			return Point{}, err
+		}
+		cfg.Partition, clusterVector = part, cv
+	} else {
+		switch strat {
+		case StratMerge1st:
+			cfg.Decider = strategy.NewMergeOnFirst()
+		case StratMergeNth5:
+			cfg.Decider = strategy.NewMergeOnNth(5)
+		case StratMergeNth10:
+			cfg.Decider = strategy.NewMergeOnNth(10)
+		default:
+			return Point{}, fmt.Errorf("experiment: unknown strategy %q", strat)
+		}
+	}
+	res, err := hct.ResultOf(tc.Trace, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	return finishPoint(res, maxCS, fixedVector, clusterVector), nil
 }
 
 // Sweep runs a strategy over the full range of maximum cluster sizes.
 func Sweep(tc *TraceContext, strat string, sizes []int, fixedVector int) (*metrics.Curve, error) {
+	var sc scratch
 	c := &metrics.Curve{
 		Computation: tc.Trace.Name,
 		Strategy:    strat,
@@ -168,7 +314,7 @@ func Sweep(tc *TraceContext, strat string, sizes []int, fixedVector int) (*metri
 		Ratio:       make([]float64, 0, len(sizes)),
 	}
 	for _, s := range sizes {
-		pt, err := RunPoint(tc, strat, s, fixedVector)
+		pt, err := runPoint(tc, strat, s, fixedVector, &sc)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s maxCS=%d on %s: %w", strat, s, tc.Trace.Name, err)
 		}
@@ -179,45 +325,6 @@ func Sweep(tc *TraceContext, strat string, sizes []int, fixedVector int) (*metri
 		return nil, err
 	}
 	return c, nil
-}
-
-// CorpusSweep runs one strategy across every computation of the corpus,
-// in parallel, returning the curves ordered by computation name.
-func CorpusSweep(specs []workload.Spec, strat string, sizes []int, fixedVector, workers int) ([]*metrics.Curve, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type job struct {
-		idx  int
-		spec workload.Spec
-	}
-	jobs := make(chan job)
-	curves := make([]*metrics.Curve, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				tc := NewTraceContext(j.spec.Generate())
-				c, err := Sweep(tc, strat, sizes, fixedVector)
-				curves[j.idx], errs[j.idx] = c, err
-			}
-		}()
-	}
-	for i, s := range specs {
-		jobs <- job{idx: i, spec: s}
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Slice(curves, func(i, j int) bool { return curves[i].Computation < curves[j].Computation })
-	return curves, nil
 }
 
 // RoundRatio trims a ratio for reporting.

@@ -1,10 +1,7 @@
 package experiment
 
 import (
-	"fmt"
-
 	"repro/internal/metrics"
-	"repro/internal/workload"
 )
 
 // Panel is one sub-plot of a figure: a computation with the strategies drawn
@@ -67,24 +64,9 @@ type FigureData struct {
 	Panels [][]*metrics.Curve
 }
 
-// RunFigure computes all curves of a figure.
+// RunFigure computes all curves of a figure, generating panel traces
+// standalone. Callers that also sweep the corpus should prefer
+// CorpusContext.RunFigure, which reuses already generated traces.
 func RunFigure(fig Figure, sizes []int, fixedVector int) (*FigureData, error) {
-	fd := &FigureData{Figure: fig}
-	for _, p := range fig.Panels {
-		spec, ok := workload.Find(p.Computation)
-		if !ok {
-			return nil, fmt.Errorf("experiment: figure %s: unknown computation %q", fig.ID, p.Computation)
-		}
-		tc := NewTraceContext(spec.Generate())
-		var curves []*metrics.Curve
-		for _, strat := range p.Strategies {
-			c, err := Sweep(tc, strat, sizes, fixedVector)
-			if err != nil {
-				return nil, err
-			}
-			curves = append(curves, c)
-		}
-		fd.Panels = append(fd.Panels, curves)
-	}
-	return fd, nil
+	return NewCorpusContext(nil).RunFigure(fig, sizes, fixedVector)
 }

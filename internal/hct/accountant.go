@@ -60,17 +60,24 @@ func (*neverDecider) OnMerge(_, _, _ cluster.ID) {}
 // Observe processes one event, classifying it as a noted cluster receive, a
 // merged cluster receive, or an ordinary event.
 func (a *Accountant) Observe(e model.Event) {
-	a.events++
 	if !e.Kind.IsReceive() {
+		a.events++
 		return
 	}
-	p := int32(e.ID.Process)
+	a.ObservePair(int32(e.ID.Process), int32(e.Partner.Process))
+}
+
+// ObservePair processes one receive-kind event in compact form: receiver
+// process p, sending partner process q. Live clusters are unique per
+// Partition, so the intra-cluster test is a pointer comparison — no
+// member-set lookup and no branch on event kind.
+func (a *Accountant) ObservePair(p, q int32) {
+	a.events++
 	own := a.part.ClusterOf(p)
-	q := int32(e.Partner.Process)
-	if own.Contains(q) {
+	other := a.part.ClusterOf(q)
+	if own == other {
 		return
 	}
-	other := a.part.ClusterOf(q)
 	sizeOK := own.Size()+other.Size() <= a.cfg.MaxClusterSize
 	if a.cfg.Decider.OnClusterReceive(own.ID, other.ID, own.Size(), other.Size(), sizeOK) {
 		if !sizeOK {
@@ -88,6 +95,22 @@ func (a *Accountant) Observe(e model.Event) {
 func (a *Accountant) ObserveAll(tr *model.Trace) {
 	for _, e := range tr.Events {
 		a.Observe(e)
+	}
+}
+
+// ObserveStream replays a compact receive stream (see model.ReceiveStreamOf)
+// extracted from a trace with totalEvents events in all. It is equivalent to
+// ObserveAll on the originating trace: non-receive events only contribute to
+// the event tally, and the stream preserves delivery order, which is all the
+// merge deciders can observe. Each step touches 8 bytes instead of a 24-byte
+// model.Event and never branches on the event kind.
+func (a *Accountant) ObserveStream(stream []model.ReceivePair, totalEvents int) {
+	if totalEvents < len(stream) {
+		panic(fmt.Sprintf("hct: ObserveStream with totalEvents=%d < %d stream entries", totalEvents, len(stream)))
+	}
+	a.events += totalEvents - len(stream)
+	for _, rp := range stream {
+		a.ObservePair(rp.P, rp.Q)
 	}
 }
 

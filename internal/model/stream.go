@@ -1,0 +1,33 @@
+package model
+
+// ReceivePair is one receive-kind event in compact form: P is the receiving
+// process and Q the partner (sending) process. A trace's receive pairs, in
+// delivery order, are all the cluster-timestamp space accounting needs — the
+// merge decisions of every clustering strategy depend only on which cluster
+// pairs communicate and in what order, never on event indices or on the
+// non-receive events in between. An 8-byte pair replaces a 24-byte Event and
+// needs no Kind branch during replay.
+type ReceivePair struct {
+	P, Q int32
+}
+
+// ReceiveStreamOf extracts the compact receive stream of a trace: one
+// ReceivePair per receive-kind event (Receive and Sync — a sync pair
+// contributes two entries, one per half), in delivery order. Unary and send
+// events are dropped; their count must be carried alongside the stream when
+// total-event statistics are needed (see Trace.NumEvents).
+func ReceiveStreamOf(t *Trace) []ReceivePair {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind.IsReceive() {
+			n++
+		}
+	}
+	out := make([]ReceivePair, 0, n)
+	for _, e := range t.Events {
+		if e.Kind.IsReceive() {
+			out = append(out, ReceivePair{P: int32(e.ID.Process), Q: int32(e.Partner.Process)})
+		}
+	}
+	return out
+}

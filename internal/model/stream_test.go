@@ -1,0 +1,43 @@
+package model
+
+import "testing"
+
+func TestReceiveStreamOf(t *testing.T) {
+	b := NewBuilder("stream-test", 4)
+	b.Unary(0)
+	b.Message(0, 1) // send p0, receive p1
+	b.Sync(2, 3)    // two sync halves: (2,3) then (3,2)
+	b.Message(3, 0)
+	b.Unary(2)
+	tr := b.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := ReceiveStreamOf(tr)
+	want := []ReceivePair{{P: 1, Q: 0}, {P: 2, Q: 3}, {P: 3, Q: 2}, {P: 0, Q: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("stream length %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stream[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// The stream must cover exactly the receive-kind events, in delivery
+	// order — the generators' invariant the sweep kernel depends on.
+	i := 0
+	for _, e := range tr.Events {
+		if !e.Kind.IsReceive() {
+			continue
+		}
+		if got[i].P != int32(e.ID.Process) || got[i].Q != int32(e.Partner.Process) {
+			t.Errorf("stream[%d] = %v, want (%d,%d)", i, got[i], e.ID.Process, e.Partner.Process)
+		}
+		i++
+	}
+	if i != len(got) {
+		t.Errorf("stream has %d entries beyond the trace's receives", len(got)-i)
+	}
+}

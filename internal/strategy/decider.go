@@ -81,13 +81,32 @@ func (*Never) OnMerge(_, _, _ cluster.ID) {}
 // between each pair of live clusters, normalized by the combined size of the
 // pair, and merges when the normalized count exceeds Threshold. With
 // Threshold = 0 it degenerates to merge-on-1st-communication.
+//
+// The matrix is stored as one flat map keyed by the packed unordered cluster
+// pair, so the per-receive hot path costs a single lookup and a single store.
+// Per-cluster partner lists (dense slices — cluster IDs are allocated
+// sequentially) are appended to only on a pair's first receive and are read
+// only when a merge folds the retired clusters' counts; a list may retain
+// partners that have since merged away, which folding detects by the absence
+// of the packed count key.
 type MergeOnNth struct {
 	// Threshold is the normalized cluster-receive count that must be
 	// exceeded before a merge.
 	Threshold float64
-	// counts holds, per live cluster, the cluster-receive counts against
-	// other live clusters. Entries are symmetric.
-	counts map[cluster.ID]map[cluster.ID]int64
+	// counts maps pairKey(a, b) to the cluster receives recorded between
+	// live clusters a and b.
+	counts map[uint64]int64
+	// partners[id] lists clusters that have ever had a counted pair with
+	// id; entries whose pair key has been deleted are stale.
+	partners [][]cluster.ID
+}
+
+// pairKey packs an unordered cluster pair into one map key.
+func pairKey(a, b cluster.ID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
 // NewMergeOnNth returns a merge-on-Nth decider with the given normalized
@@ -98,54 +117,82 @@ func NewMergeOnNth(threshold float64) *MergeOnNth {
 	}
 	return &MergeOnNth{
 		Threshold: threshold,
-		counts:    make(map[cluster.ID]map[cluster.ID]int64),
+		counts:    make(map[uint64]int64),
 	}
 }
 
 // Name implements Decider.
 func (m *MergeOnNth) Name() string { return fmt.Sprintf("merge-nth(%g)", m.Threshold) }
 
-func (m *MergeOnNth) row(a cluster.ID) map[cluster.ID]int64 {
-	r, ok := m.counts[a]
-	if !ok {
-		r = make(map[cluster.ID]int64)
-		m.counts[a] = r
+// Reset discards all pair statistics, returning the decider to its initial
+// state so sweep harnesses can reuse one instance per worker across many
+// replays instead of reallocating the count matrix for every sweep point.
+func (m *MergeOnNth) Reset() {
+	clear(m.counts)
+	for i := range m.partners {
+		m.partners[i] = m.partners[i][:0]
 	}
-	return r
+}
+
+// noted records that a and b have a counted pair, growing the dense partner
+// table as cluster IDs are first seen.
+func (m *MergeOnNth) noted(a, b cluster.ID) {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	for len(m.partners) <= int(hi) {
+		m.partners = append(m.partners, nil)
+	}
+	m.partners[a] = append(m.partners[a], b)
+	m.partners[b] = append(m.partners[b], a)
 }
 
 // PairCount returns the cluster receives recorded between live clusters a
 // and b.
 func (m *MergeOnNth) PairCount(a, b cluster.ID) int64 {
-	return m.counts[a][b]
+	return m.counts[pairKey(a, b)]
 }
 
 // OnClusterReceive implements Decider.
 func (m *MergeOnNth) OnClusterReceive(a, b cluster.ID, sizeA, sizeB int, sizeOK bool) bool {
-	ra, rb := m.row(a), m.row(b)
-	ra[b]++
-	rb[a]++
+	k := pairKey(a, b)
+	n := m.counts[k] + 1
+	m.counts[k] = n
+	if n == 1 {
+		m.noted(a, b)
+	}
 	if !sizeOK {
 		return false
 	}
-	norm := float64(ra[b]) / float64(sizeA+sizeB)
+	norm := float64(n) / float64(sizeA+sizeB)
 	return norm > m.Threshold
 }
 
-// OnMerge implements Decider: fold a's and b's rows into c's, re-keying the
-// reverse entries held by the partner clusters.
+// OnMerge implements Decider: fold a's and b's pair counts into c's,
+// re-keying the entries shared with each surviving partner.
 func (m *MergeOnNth) OnMerge(a, b, c cluster.ID) {
-	rc := m.row(c)
-	for _, old := range []cluster.ID{a, b} {
-		for partner, n := range m.counts[old] {
+	delete(m.counts, pairKey(a, b)) // both operands retire with the merge
+	for _, old := range [2]cluster.ID{a, b} {
+		if int(old) >= len(m.partners) {
+			continue
+		}
+		for _, partner := range m.partners[old] {
 			if partner == a || partner == b {
 				continue // intra-merge counts disappear
 			}
-			rc[partner] += n
-			rp := m.row(partner)
-			rp[c] += n
-			delete(rp, old)
+			k := pairKey(old, partner)
+			n, ok := m.counts[k]
+			if !ok {
+				continue // stale: partner merged away earlier
+			}
+			delete(m.counts, k)
+			ck := pairKey(c, partner)
+			if prev := m.counts[ck]; prev == 0 {
+				m.noted(c, partner)
+			}
+			m.counts[ck] += n
 		}
-		delete(m.counts, old)
+		m.partners[old] = m.partners[old][:0]
 	}
 }

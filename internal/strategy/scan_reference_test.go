@@ -1,0 +1,124 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/commgraph"
+)
+
+// staticGreedyScan is the original O(rounds x edges) linear-scan
+// implementation of the Figure 3 agglomeration, retained verbatim as the
+// reference for the differential test: the heap-based StaticGreedy must
+// reproduce its merge sequence exactly (the selection criterion is a strict
+// total order, so the two formulations are equivalent pair by pair).
+func staticGreedyScan(g *commgraph.Graph, maxCS int) [][]int32 {
+	if maxCS < 1 {
+		panic(fmt.Sprintf("strategy: StaticGreedy with maxCS=%d", maxCS))
+	}
+	n := g.NumProcs()
+
+	// Live clusters, indexed by a dense id. Merging retires two ids and
+	// allocates a new one.
+	type cl struct {
+		members []int32
+		min     int32 // smallest member, for deterministic tie-breaks
+		alive   bool
+	}
+	clusters := make([]cl, 0, 2*n)
+	for p := 0; p < n; p++ {
+		clusters = append(clusters, cl{members: []int32{int32(p)}, min: int32(p), alive: true})
+	}
+
+	// Pairwise communication counts between live clusters, sparse.
+	type pair struct{ a, b int } // a < b (cluster ids)
+	edges := make(map[pair]int64, g.NumEdges())
+	mk := func(a, b int) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	for _, e := range g.Edges() {
+		edges[mk(int(e.P), int(e.Q))] += e.Count
+	}
+
+	for {
+		// Select the best mergeable pair: highest normalized count.
+		best := pair{-1, -1}
+		var bestNorm float64
+		var bestMin, bestMax int32
+		for pr, count := range edges {
+			if count <= 0 {
+				continue
+			}
+			ca, cb := &clusters[pr.a], &clusters[pr.b]
+			sz := len(ca.members) + len(cb.members)
+			if sz > maxCS {
+				continue // line 7 of Figure 3
+			}
+			norm := float64(count) / float64(sz)
+			lo, hi := ca.min, cb.min
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			better := norm > bestNorm
+			if !better && norm == bestNorm && best.a >= 0 {
+				if lo < bestMin || (lo == bestMin && hi < bestMax) {
+					better = true
+				}
+			}
+			if better {
+				best, bestNorm, bestMin, bestMax = pr, norm, lo, hi
+			}
+		}
+		if best.a < 0 || bestNorm <= 0 {
+			break // CRMax == 0: terminate (line 19)
+		}
+
+		// Merge the selected pair into a fresh cluster id.
+		ca, cb := &clusters[best.a], &clusters[best.b]
+		merged := cl{
+			members: append(append(make([]int32, 0, len(ca.members)+len(cb.members)), ca.members...), cb.members...),
+			min:     ca.min,
+			alive:   true,
+		}
+		if cb.min < merged.min {
+			merged.min = cb.min
+		}
+		id := len(clusters)
+		clusters = append(clusters, merged)
+		ca.alive, cb.alive = false, false
+
+		// Fold edges touching the retired clusters into the new id.
+		for pr, count := range edges {
+			var other int
+			switch {
+			case pr.a == best.a || pr.a == best.b:
+				other = pr.b
+			case pr.b == best.a || pr.b == best.b:
+				other = pr.a
+			default:
+				continue
+			}
+			delete(edges, pr)
+			if other == best.a || other == best.b {
+				continue // the intra-merge edge disappears
+			}
+			edges[mk(id, other)] += count
+		}
+	}
+
+	var groups [][]int32
+	for _, c := range clusters {
+		if !c.alive {
+			continue
+		}
+		members := append([]int32(nil), c.members...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		groups = append(groups, members)
+	}
+	// Deterministic group order by smallest member.
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

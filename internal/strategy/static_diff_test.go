@@ -1,0 +1,33 @@
+package strategy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/commgraph"
+)
+
+func TestStaticGreedyMatchesScanReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + r.Intn(40)
+		g := commgraph.New(n)
+		edges := 1 + r.Intn(3*n)
+		for i := 0; i < edges; i++ {
+			p := int32(r.Intn(n))
+			q := int32(r.Intn(n))
+			if p == q {
+				continue
+			}
+			g.Add(p, q, int64(1+r.Intn(20)))
+		}
+		for _, maxCS := range []int{1, 2, 3, 5, 8, n} {
+			want := staticGreedyScan(g, maxCS)
+			got := StaticGreedy(g, maxCS)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("iter %d n=%d maxCS=%d:\nwant %v\ngot  %v", iter, n, maxCS, want, got)
+			}
+		}
+	}
+}
