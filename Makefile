@@ -19,11 +19,11 @@ race:
 bench:
 	go test -bench=. -benchmem .
 
-# Sweep-kernel benchmarks (replay vs kernel paths), committed as JSON so
+# Sweep-kernel and server-ingest benchmarks, committed as JSON so
 # before/after numbers travel with the code.
 bench-json:
-	go test ./internal/experiment/ -run '^$$' \
-		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep' \
+	go test ./internal/experiment/ ./internal/monitor/ -run '^$$' \
+		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 
 # Re-run the paper's full Section 4 evaluation.
@@ -36,3 +36,5 @@ cover:
 fuzz:
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/trace/
 	go test -fuzz=FuzzReadText -fuzztime=30s ./internal/trace/
+	go test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/monitor/
+	go test -fuzz=FuzzServerProtocol -fuzztime=30s ./internal/monitor/

@@ -7,7 +7,11 @@
 //
 //	poetd -procs 300 -addr 127.0.0.1:7777 -maxcs 13 -strategy merge-nth -threshold 10
 //
-// Protocol (line-oriented; see internal/monitor.Server):
+// Each connection speaks one of two protocols, auto-detected from its first
+// byte. Protocol v2 is the production path: length-prefixed binary frames
+// carrying batches of events and queries (see internal/monitor/protocol.go
+// for the framing spec); internal/monitor.DialV2 and DialAuto implement the
+// client side. Protocol v1 is line-oriented text for nc-style debugging:
 //
 //	EVENT s 0:1 -> 1:1
 //	EVENT r 1:1 <- 0:1
@@ -20,6 +24,15 @@
 //
 //	poetd -procs 2 &
 //	printf 'EVENT s 0:1 -> 1:1\nEVENT r 1:1 <- 0:1\nPRECEDES 0:1 1:1\nQUIT\n' | nc 127.0.0.1 7777
+//
+// Or drive it at speed from a corpus trace:
+//
+//	poetd -procs 300 &
+//	poquery -addr 127.0.0.1:7777 -trace pvm/ring-300 -load -sample 50
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting, waits
+// up to -grace for connected clients to finish their sessions, then closes
+// and reports the final ingestion statistics.
 package main
 
 import (
@@ -28,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/hct"
 	"repro/internal/metrics"
@@ -43,6 +57,12 @@ func main() {
 		strat     = flag.String("strategy", "merge-1st", "merge-1st | merge-nth")
 		threshold = flag.Float64("threshold", 10, "normalized CR threshold for merge-nth")
 		fixed     = flag.Int("fixed", metrics.DefaultFixedVector, "fixed encoding vector size")
+		maxConns  = flag.Int("maxconns", monitor.DefaultMaxConns, "maximum simultaneous connections")
+		maxBatch  = flag.Int("maxbatch", monitor.DefaultMaxBatch, "maximum records per EVENTS/QUERY frame")
+		queue     = flag.Int("queue", monitor.DefaultSubmitQueue, "submit queue depth (batches) before producers block")
+		idle      = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
+		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
+		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
 
@@ -61,23 +81,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
 		os.Exit(1)
 	}
-	srv := monitor.NewServer(m, *fixed)
+	srv := monitor.NewServer(m, monitor.ServerConfig{
+		FixedVector:  *fixed,
+		MaxConns:     *maxConns,
+		MaxBatch:     *maxBatch,
+		SubmitQueue:  *queue,
+		IdleTimeout:  *idle,
+		WriteTimeout: *writeTO,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("poetd: monitoring %d processes on %s (%s, maxCS %d)\n", *procs, bound, *strat, *maxCS)
+	fmt.Printf("poetd: monitoring %d processes on %s (%s, maxCS %d, maxBatch %d)\n",
+		*procs, bound, *strat, *maxCS, *maxBatch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("poetd: shutting down")
-	if err := srv.Close(); err != nil {
+	fmt.Printf("poetd: draining (up to %v)\n", *grace)
+	if err := srv.Shutdown(*grace); err != nil {
 		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
 		os.Exit(1)
 	}
 	st := m.Stats(*fixed)
 	fmt.Printf("poetd: %d events, %d cluster receives, %d ints of timestamp storage\n",
 		st.Events, st.ClusterReceives, st.StorageInts)
+	fmt.Printf("poetd: %s\n", srv.Counters().Snapshot())
 }

@@ -1,12 +1,23 @@
-// Command poquery loads a trace into the monitoring entity and answers
-// precedence queries, cross-checking the cluster-timestamp answer against
-// the Fidge/Mattern answer and ground-truth graph reachability.
+// Command poquery answers precedence queries over a trace, either locally —
+// loading the trace into an in-process monitoring entity and cross-checking
+// the cluster-timestamp answer against the Fidge/Mattern answer and
+// ground-truth graph reachability — or remotely, against a running poetd
+// daemon (protocol v2, falling back to v1 automatically).
 //
 // Usage:
 //
 //	poquery -trace pvm/ring-64 -e 0:1 -f 1:5
 //	poquery -in trace.hctr -e 3:10 -f 7:2 -maxcs 13 -strategy merge-nth
 //	poquery -trace dce/rpc-36 -sample 50      # random sampled queries
+//
+// Against a daemon (start one with poetd -procs 300):
+//
+//	poquery -addr 127.0.0.1:7777 -trace pvm/ring-300 -load -sample 50
+//	poquery -addr 127.0.0.1:7777 -e 0:1 -f 1:5
+//
+// With -load the trace is streamed to the daemon in event batches before
+// querying; when a trace is available the remote answers are additionally
+// cross-checked against a local Fidge/Mattern computation.
 package main
 
 import (
@@ -32,6 +43,8 @@ func main() {
 	var (
 		in        = flag.String("in", "", "binary trace file")
 		traceName = flag.String("trace", "", "corpus computation to generate")
+		addr      = flag.String("addr", "", "query a running poetd at this address instead of a local monitor")
+		load      = flag.Bool("load", false, "with -addr: stream the trace to the daemon before querying")
 		eArg      = flag.String("e", "", "first event as proc:index")
 		fArg      = flag.String("f", "", "second event as proc:index")
 		maxCS     = flag.Int("maxcs", 13, "maximum cluster size")
@@ -43,9 +56,20 @@ func main() {
 	)
 	flag.Parse()
 
-	tr, err := loadTrace(*in, *traceName)
-	if err != nil {
-		fatal(err)
+	var tr *model.Trace
+	if *in != "" || *traceName != "" {
+		var err error
+		if tr, err = loadTrace(*in, *traceName); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *addr != "" {
+		runRemote(*addr, tr, *load, *eArg, *fArg, *sample, *seed, *cut)
+		return
+	}
+	if tr == nil {
+		fatal(fmt.Errorf("need -in or -trace"))
 	}
 
 	cfg := hct.Config{MaxClusterSize: *maxCS}
@@ -66,13 +90,9 @@ func main() {
 	}
 
 	// Reference implementations for cross-checking.
-	stamped, err := fm.StampAll(tr)
+	fmClock, err := stampClocks(tr)
 	if err != nil {
 		fatal(err)
-	}
-	fmClock := make(map[model.EventID]vclock.Clock, len(stamped))
-	for _, st := range stamped {
-		fmClock[st.Event.ID] = st.Clock
 	}
 	oracle, err := poset.NewOracleFromTrace(tr)
 	if err != nil {
@@ -151,6 +171,109 @@ func main() {
 	}
 }
 
+// runRemote serves the -addr mode: the daemon answers, and when a trace is
+// available locally its Fidge/Mattern clocks validate the remote answers.
+func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sample int, seed int64, cut bool) {
+	if cut {
+		fatal(fmt.Errorf("-cut requires a local monitor (drop -addr)"))
+	}
+	sess, err := monitor.DialAuto(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	if load {
+		if tr == nil {
+			fatal(fmt.Errorf("-load needs -in or -trace"))
+		}
+		const chunk = 4096
+		for lo := 0; lo < len(tr.Events); lo += chunk {
+			hi := lo + chunk
+			if hi > len(tr.Events) {
+				hi = len(tr.Events)
+			}
+			if err := sess.ReportBatch(tr.Events[lo:hi]); err != nil {
+				fatal(fmt.Errorf("streaming events[%d:%d]: %w", lo, hi, err))
+			}
+		}
+		stats, err := sess.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d events; %s\n", len(tr.Events), stats)
+	}
+
+	var fmClock map[model.EventID]vclock.Clock
+	if tr != nil {
+		if fmClock, err = stampClocks(tr); err != nil {
+			fatal(err)
+		}
+	}
+	query := func(e, f model.EventID) error {
+		got, err := sess.Precedes(e, f)
+		if err != nil {
+			return err
+		}
+		rel := "concurrent with"
+		if got {
+			rel = "happened before"
+		} else if back, _ := sess.Precedes(f, e); back {
+			rel = "happened after"
+		}
+		if fmClock != nil {
+			wantFM := fm.Precedes(e, fmClock[e], f, fmClock[f])
+			fmt.Printf("%v %s %v   [remote=%v fidge-mattern=%v]\n", e, rel, f, got, wantFM)
+			if got != wantFM {
+				return fmt.Errorf("DISAGREEMENT on (%v,%v)", e, f)
+			}
+		} else {
+			fmt.Printf("%v %s %v\n", e, rel, f)
+		}
+		return nil
+	}
+
+	if sample > 0 {
+		if tr == nil {
+			fatal(fmt.Errorf("-sample needs -in or -trace to draw events from"))
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < sample; i++ {
+			e := tr.Events[r.Intn(len(tr.Events))].ID
+			f := tr.Events[r.Intn(len(tr.Events))].ID
+			if err := query(e, f); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%d sampled queries answered remotely, all agree with Fidge/Mattern\n", sample)
+		return
+	}
+	e, err := parseID(eArg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parseID(fArg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := query(e, f); err != nil {
+		fatal(err)
+	}
+}
+
+// stampClocks computes the trace's Fidge/Mattern clocks keyed by event.
+func stampClocks(tr *model.Trace) (map[model.EventID]vclock.Clock, error) {
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		return nil, err
+	}
+	clocks := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		clocks[st.Event.ID] = st.Clock
+	}
+	return clocks, nil
+}
+
 func parseID(s string) (model.EventID, error) {
 	parts := strings.SplitN(s, ":", 2)
 	if len(parts) != 2 {
@@ -171,9 +294,6 @@ func loadTrace(in, traceName string) (*model.Trace, error) {
 			return nil, fmt.Errorf("unknown computation %q", traceName)
 		}
 		return spec.Generate(), nil
-	}
-	if in == "" {
-		return nil, fmt.Errorf("need -in or -trace")
 	}
 	f, err := os.Open(in)
 	if err != nil {

@@ -49,7 +49,9 @@ type Timestamper struct {
 	n        int
 	frontier []vclock.Clock                 // last event's clock per process (nil until first event)
 	pending  map[model.EventID]vclock.Clock // finalized send clocks awaiting their receive
+	free     []vclock.Clock                 // retired pending-send clocks, reused for new sends
 	syncHold *pendingSync                   // first half of an in-flight synchronous pair
+	outBuf   [2]Borrowed                    // reused result slice backing for ObserveBorrowed
 	observed int
 }
 
@@ -79,13 +81,26 @@ func (ts *Timestamper) Observed() int { return ts.observed }
 // PendingSends returns the number of send clocks held awaiting receives.
 func (ts *Timestamper) PendingSends() int { return len(ts.pending) }
 
-// ownClock computes the event's base clock: the in-process predecessor's
-// clock with the event's own component incremented.
+// Borrowed pairs an event with a finalized clock that remains owned by the
+// timestamper: it is valid only until the next Observe/ObserveBorrowed call
+// and must be cloned to be retained. This is the allocation-free fast path
+// behind high-throughput ingestion — most consumers (the cluster-timestamp
+// engine above all) project or discard the full vector immediately, so
+// handing out the live frontier avoids two full-vector copies per event.
+type Borrowed struct {
+	Event model.Event
+	Clock vclock.Clock
+}
+
+// ownClock computes the event's base clock into a freshly allocated vector:
+// the in-process predecessor's clock with the own component incremented. It
+// is used for the held half of a synchronous pair, whose clock must not
+// alias the frontier until the pair completes.
 func (ts *Timestamper) ownClock(e model.Event) (vclock.Clock, error) {
-	p := int(e.ID.Process)
-	if p < 0 || p >= ts.n {
-		return nil, fmt.Errorf("%w: %v", ErrProcOutOfRange, e.ID)
+	if err := ts.validate(e); err != nil {
+		return nil, err
 	}
+	p := int(e.ID.Process)
 	var clk vclock.Clock
 	if prev := ts.frontier[p]; prev != nil {
 		clk = prev.Clone()
@@ -93,10 +108,49 @@ func (ts *Timestamper) ownClock(e model.Event) (vclock.Clock, error) {
 		clk = vclock.New(ts.n)
 	}
 	clk[p]++
-	if clk[p] != int32(e.ID.Index) {
-		return nil, fmt.Errorf("%w: %v has own component %d", ErrBadIndex, e.ID, clk[p])
-	}
 	return clk, nil
+}
+
+// validate checks that e extends its process history without mutating any
+// state, so every error return leaves the timestamper untouched.
+func (ts *Timestamper) validate(e model.Event) error {
+	p := int(e.ID.Process)
+	if p < 0 || p >= ts.n {
+		return fmt.Errorf("%w: %v", ErrProcOutOfRange, e.ID)
+	}
+	var own int32
+	if f := ts.frontier[p]; f != nil {
+		own = f[p]
+	}
+	if own+1 != int32(e.ID.Index) {
+		return fmt.Errorf("%w: %v has own component %d", ErrBadIndex, e.ID, own+1)
+	}
+	return nil
+}
+
+// bump advances the frontier of e's process in place and returns it. The
+// caller must have validated e first.
+func (ts *Timestamper) bump(e model.Event) vclock.Clock {
+	p := int(e.ID.Process)
+	clk := ts.frontier[p]
+	if clk == nil {
+		clk = vclock.New(ts.n)
+		ts.frontier[p] = clk
+	}
+	clk[p]++
+	return clk
+}
+
+// retain copies clk into a (possibly recycled) vector for the pending-send
+// table.
+func (ts *Timestamper) retain(clk vclock.Clock) vclock.Clock {
+	if n := len(ts.free); n > 0 {
+		cp := ts.free[n-1]
+		ts.free = ts.free[:n-1]
+		cp.CopyFrom(clk)
+		return cp
+	}
+	return clk.Clone()
 }
 
 // Observe ingests the next event in delivery order and returns the events
@@ -106,31 +160,50 @@ func (ts *Timestamper) ownClock(e model.Event) (vclock.Clock, error) {
 // finalize with identical clocks (two results, in process order of arrival).
 //
 // Returned clocks are owned by the caller; the timestamper retains no
-// aliases except the pending-send table, which holds independent copies.
+// aliases. ObserveBorrowed is the allocation-free variant.
 func (ts *Timestamper) Observe(e model.Event) ([]Stamped, error) {
+	bs, err := ts.ObserveBorrowed(e)
+	if err != nil || len(bs) == 0 {
+		return nil, err
+	}
+	out := make([]Stamped, len(bs))
+	for i, b := range bs {
+		out[i] = Stamped{Event: b.Event, Clock: b.Clock.Clone()}
+	}
+	return out, nil
+}
+
+// ObserveBorrowed is Observe without the defensive copies: the returned
+// slice and its clocks are owned by the timestamper and valid only until
+// the next call. On error no state changes.
+func (ts *Timestamper) ObserveBorrowed(e model.Event) ([]Borrowed, error) {
 	if ts.syncHold != nil && e.Kind != model.Sync {
 		return nil, fmt.Errorf("%w: %v arrived while sync %v pending", ErrSyncInterleaved, e.ID, ts.syncHold.ev.ID)
 	}
 	switch e.Kind {
 	case model.Unary, model.Send, model.Receive:
-		clk, err := ts.ownClock(e)
-		if err != nil {
+		if err := ts.validate(e); err != nil {
 			return nil, err
 		}
+		var sclk vclock.Clock
 		if e.Kind == model.Receive {
-			sclk, ok := ts.pending[e.Partner]
-			if !ok {
+			var ok bool
+			if sclk, ok = ts.pending[e.Partner]; !ok {
 				return nil, fmt.Errorf("%w: %v <- %v", ErrUnknownSend, e.ID, e.Partner)
 			}
-			clk.MaxInto(sclk)
 			delete(ts.pending, e.Partner)
 		}
-		ts.frontier[e.ID.Process] = clk
+		clk := ts.bump(e)
+		if sclk != nil {
+			clk.MaxInto(sclk)
+			ts.free = append(ts.free, sclk)
+		}
 		if e.Kind == model.Send {
-			ts.pending[e.ID] = clk.Clone()
+			ts.pending[e.ID] = ts.retain(clk)
 		}
 		ts.observed++
-		return []Stamped{{Event: e, Clock: clk.Clone()}}, nil
+		ts.outBuf[0] = Borrowed{Event: e, Clock: clk}
+		return ts.outBuf[:1], nil
 
 	case model.Sync:
 		if ts.syncHold == nil {
@@ -145,19 +218,23 @@ func (ts *Timestamper) Observe(e model.Event) ([]Stamped, error) {
 		if first.ev.Partner != e.ID || e.Partner != first.ev.ID {
 			return nil, fmt.Errorf("%w: %v after %v", ErrSyncPartner, e.ID, first.ev.ID)
 		}
-		ts.syncHold = nil
-		clk, err := ts.ownClock(e)
-		if err != nil {
+		if err := ts.validate(e); err != nil {
 			return nil, err
 		}
+		ts.syncHold = nil
+		clk := ts.bump(e)
 		clk.MaxInto(first.clk)
-		ts.frontier[first.ev.ID.Process] = clk
-		ts.frontier[e.ID.Process] = clk.Clone()
+		p1 := int(first.ev.ID.Process)
+		f1 := ts.frontier[p1]
+		if f1 == nil {
+			f1 = vclock.New(ts.n)
+			ts.frontier[p1] = f1
+		}
+		f1.CopyFrom(clk)
 		ts.observed += 2
-		return []Stamped{
-			{Event: first.ev, Clock: clk.Clone()},
-			{Event: e, Clock: clk.Clone()},
-		}, nil
+		ts.outBuf[0] = Borrowed{Event: first.ev, Clock: f1}
+		ts.outBuf[1] = Borrowed{Event: e, Clock: clk}
+		return ts.outBuf[:2], nil
 
 	default:
 		return nil, fmt.Errorf("fm: unknown event kind %v for %v", e.Kind, e.ID)

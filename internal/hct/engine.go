@@ -113,7 +113,10 @@ func (ts *Timestamper) Partition() *cluster.Partition { return ts.part }
 // timestamps finalized by it (two for the completion of a synchronous pair,
 // zero for its first half, one otherwise).
 func (ts *Timestamper) Observe(e model.Event) ([]*Timestamp, error) {
-	stamped, err := ts.fmts.Observe(e)
+	// The borrowed observe path hands out the live Fidge/Mattern frontier
+	// without defensive copies; assign projects or clones as needed before
+	// the next call invalidates it.
+	stamped, err := ts.fmts.ObserveBorrowed(e)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +152,7 @@ func (ts *Timestamper) assign(e model.Event, clk vclock.Clock) *Timestamp {
 	}
 
 	if isCR {
-		t.Full = clk // fm returns caller-owned clocks; safe to retain
+		t.Full = clk.Clone() // clk is borrowed from fm; copy to retain
 		ts.crs[p] = append(ts.crs[p], crNote{index: int32(e.ID.Index), clock: t.Full})
 		ts.crEvents++
 	} else {

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ServerCounters aggregates the monotonically increasing throughput counters
+// of the online monitoring server: how many events and batches it ingested,
+// how many precedence queries it answered, and how much protocol traffic
+// (frames, text lines, errors, connections) it saw. All fields are updated
+// with atomic operations, so producers on many connection goroutines can
+// bump them without sharing the monitor's locks.
+type ServerCounters struct {
+	EventsIngested  atomic.Int64 // events accepted into the collector
+	BatchesIngested atomic.Int64 // EVENTS frames / batch submissions accepted
+	QueriesAnswered atomic.Int64 // individual PRECEDES/CONCURRENT answers
+	QueryFrames     atomic.Int64 // QUERY frames / query lines served
+	FramesRead      atomic.Int64 // v2 frames decoded (any type)
+	LinesRead       atomic.Int64 // v1 text lines handled
+	ProtocolErrors  atomic.Int64 // malformed or rejected frames/lines
+	ConnsAccepted   atomic.Int64 // connections admitted
+	ConnsRejected   atomic.Int64 // connections refused at the MaxConns limit
+}
+
+// Snapshot captures a consistent-enough point-in-time copy of the counters
+// (each field is read atomically; the set is not a global atomic snapshot,
+// which is fine for monotonic throughput accounting).
+func (c *ServerCounters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		EventsIngested:  c.EventsIngested.Load(),
+		BatchesIngested: c.BatchesIngested.Load(),
+		QueriesAnswered: c.QueriesAnswered.Load(),
+		QueryFrames:     c.QueryFrames.Load(),
+		FramesRead:      c.FramesRead.Load(),
+		LinesRead:       c.LinesRead.Load(),
+		ProtocolErrors:  c.ProtocolErrors.Load(),
+		ConnsAccepted:   c.ConnsAccepted.Load(),
+		ConnsRejected:   c.ConnsRejected.Load(),
+	}
+}
+
+// CounterSnapshot is a plain-integer copy of ServerCounters.
+type CounterSnapshot struct {
+	EventsIngested  int64
+	BatchesIngested int64
+	QueriesAnswered int64
+	QueryFrames     int64
+	FramesRead      int64
+	LinesRead       int64
+	ProtocolErrors  int64
+	ConnsAccepted   int64
+	ConnsRejected   int64
+}
+
+// Sub returns the counter deltas s - earlier, for interval rates.
+func (s CounterSnapshot) Sub(earlier CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		EventsIngested:  s.EventsIngested - earlier.EventsIngested,
+		BatchesIngested: s.BatchesIngested - earlier.BatchesIngested,
+		QueriesAnswered: s.QueriesAnswered - earlier.QueriesAnswered,
+		QueryFrames:     s.QueryFrames - earlier.QueryFrames,
+		FramesRead:      s.FramesRead - earlier.FramesRead,
+		LinesRead:       s.LinesRead - earlier.LinesRead,
+		ProtocolErrors:  s.ProtocolErrors - earlier.ProtocolErrors,
+		ConnsAccepted:   s.ConnsAccepted - earlier.ConnsAccepted,
+		ConnsRejected:   s.ConnsRejected - earlier.ConnsRejected,
+	}
+}
+
+// Rates converts the snapshot into per-second throughput over elapsed.
+// A non-positive elapsed yields zero rates.
+func (s CounterSnapshot) Rates(elapsed time.Duration) ThroughputRates {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return ThroughputRates{}
+	}
+	return ThroughputRates{
+		EventsPerSec:  float64(s.EventsIngested) / secs,
+		BatchesPerSec: float64(s.BatchesIngested) / secs,
+		QueriesPerSec: float64(s.QueriesAnswered) / secs,
+	}
+}
+
+// ThroughputRates is the per-second view of a counter interval.
+type ThroughputRates struct {
+	EventsPerSec  float64
+	BatchesPerSec float64
+	QueriesPerSec float64
+}
+
+// String renders the snapshot in the key=value style of the server's STATS
+// surface, so it can be appended verbatim to a STATS response.
+func (s CounterSnapshot) String() string {
+	return fmt.Sprintf(
+		"ingested=%d batches=%d queries=%d qframes=%d frames=%d lines=%d proto_errors=%d conns=%d rejected=%d",
+		s.EventsIngested, s.BatchesIngested, s.QueriesAnswered, s.QueryFrames,
+		s.FramesRead, s.LinesRead, s.ProtocolErrors, s.ConnsAccepted, s.ConnsRejected)
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerCountersConcurrentAndSnapshot(t *testing.T) {
+	var c ServerCounters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.EventsIngested.Add(3)
+				c.BatchesIngested.Add(1)
+				c.QueriesAnswered.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.EventsIngested != 3*workers*per || s.BatchesIngested != workers*per || s.QueriesAnswered != 2*workers*per {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestCounterSnapshotSubAndRates(t *testing.T) {
+	a := CounterSnapshot{EventsIngested: 100, BatchesIngested: 10, QueriesAnswered: 50}
+	b := CounterSnapshot{EventsIngested: 700, BatchesIngested: 40, QueriesAnswered: 250}
+	d := b.Sub(a)
+	if d.EventsIngested != 600 || d.BatchesIngested != 30 || d.QueriesAnswered != 200 {
+		t.Fatalf("delta = %+v", d)
+	}
+	r := d.Rates(2 * time.Second)
+	if r.EventsPerSec != 300 || r.BatchesPerSec != 15 || r.QueriesPerSec != 100 {
+		t.Fatalf("rates = %+v", r)
+	}
+	if z := d.Rates(0); z != (ThroughputRates{}) {
+		t.Fatalf("zero-elapsed rates = %+v", z)
+	}
+}
+
+func TestCounterSnapshotString(t *testing.T) {
+	s := CounterSnapshot{EventsIngested: 5, ProtocolErrors: 2}.String()
+	for _, want := range []string{"ingested=5", "proto_errors=2", "batches=0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

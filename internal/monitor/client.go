@@ -1,0 +1,364 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Session is the protocol-independent client surface: both the v1 text
+// client and the v2 binary client implement it, so instrumentation shims
+// and tools can speak whichever protocol the server offers (see DialAuto).
+type Session interface {
+	// Report streams one event record to the server.
+	Report(e model.Event) error
+	// ReportBatch streams a batch of event records in one exchange.
+	ReportBatch(events []model.Event) error
+	// Precedes asks a happened-before query.
+	Precedes(e, f model.EventID) (bool, error)
+	// Concurrent asks a concurrency query.
+	Concurrent(e, f model.EventID) (bool, error)
+	// Stats fetches the server's statistics body.
+	Stats() (string, error)
+	// Close ends the session.
+	Close() error
+}
+
+// DialAuto connects with protocol v2 and falls back to v1 when the server
+// does not complete the binary handshake (an old server answers the magic
+// with a text error line, which fails the HELLO decode cleanly).
+func DialAuto(addr string) (Session, error) {
+	if c2, err := DialV2(addr); err == nil {
+		return c2, nil
+	}
+	// Handshake or dial failed; a v1 attempt either works or surfaces the
+	// underlying connection error.
+	return Dial(addr)
+}
+
+// --- protocol v1 client ---------------------------------------------------
+
+// Client is a minimal client for the server's v1 text protocol, used by
+// instrumentation shims, tests and nc-style debugging.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a monitoring server with protocol v1.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// roundTrip sends one line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil && (resp == "" || err != io.EOF) {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// eventLine renders one event as its v1 EVENT command.
+func eventLine(e model.Event) (string, error) {
+	switch e.Kind {
+	case model.Unary:
+		return fmt.Sprintf("EVENT u %d:%d", e.ID.Process, e.ID.Index), nil
+	case model.Send:
+		return fmt.Sprintf("EVENT s %d:%d -> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index), nil
+	case model.Receive:
+		return fmt.Sprintf("EVENT r %d:%d <- %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index), nil
+	case model.Sync:
+		return fmt.Sprintf("EVENT y %d:%d <> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index), nil
+	}
+	return "", fmt.Errorf("monitor: unknown kind %v", e.Kind)
+}
+
+// Report streams one event to the server.
+func (c *Client) Report(e model.Event) error {
+	line, err := eventLine(e)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("monitor: server: %s", resp)
+	}
+	return nil
+}
+
+// ReportBatch pipelines a batch of EVENT lines: all lines are written in
+// one buffer, then all responses are read. This amortizes the per-line
+// round trip but still pays one line and one response per event — the
+// binary protocol's EVENTS frame is the fast path.
+func (c *Client) ReportBatch(events []model.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		line, err := eventLine(e)
+		if err != nil {
+			return err
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	if _, err := io.WriteString(c.conn, sb.String()); err != nil {
+		return err
+	}
+	var firstErr error
+	for range events {
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if resp = strings.TrimSpace(resp); resp != "OK" && firstErr == nil {
+			firstErr = fmt.Errorf("monitor: server: %s", resp)
+		}
+	}
+	return firstErr
+}
+
+// Precedes asks a happened-before query.
+func (c *Client) Precedes(e, f model.EventID) (bool, error) {
+	return c.query("PRECEDES", e, f)
+}
+
+// Concurrent asks a concurrency query.
+func (c *Client) Concurrent(e, f model.EventID) (bool, error) {
+	return c.query("CONCURRENT", e, f)
+}
+
+func (c *Client) query(op string, e, f model.EventID) (bool, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("%s %d:%d %d:%d", op, e.Process, e.Index, f.Process, f.Index))
+	if err != nil {
+		return false, err
+	}
+	switch resp {
+	case "TRUE":
+		return true, nil
+	case "FALSE":
+		return false, nil
+	}
+	return false, fmt.Errorf("monitor: server: %s", resp)
+}
+
+// Stats fetches the server-side statistics line.
+func (c *Client) Stats() (string, error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(resp, "STATS ") {
+		return "", fmt.Errorf("monitor: server: %s", resp)
+	}
+	return strings.TrimPrefix(resp, "STATS "), nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip("QUIT")
+	return c.conn.Close()
+}
+
+// --- protocol v2 client ---------------------------------------------------
+
+// ClientV2 speaks the length-prefixed binary protocol: batched EVENTS
+// frames for ingestion, batched QUERY frames for precedence questions.
+type ClientV2 struct {
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	numProcs int
+	maxBatch int
+}
+
+// DialV2 connects to a monitoring server with protocol v2 and performs the
+// handshake. It fails (without falling back) when the server does not
+// answer with a HELLO frame.
+func DialV2(addr string) (*ClientV2, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &ClientV2{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64*1024),
+		w:    bufio.NewWriterSize(conn, 64*1024),
+	}
+	if _, err := conn.Write(protocolV2Magic[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("monitor: v2 handshake: %w", err)
+	}
+	if typ != frameHello {
+		conn.Close()
+		return nil, fmt.Errorf("monitor: v2 handshake: unexpected frame 0x%02x", typ)
+	}
+	version, numProcs, maxBatch, err := decodeHelloPayload(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if version != protocolV2Version {
+		conn.Close()
+		return nil, fmt.Errorf("monitor: v2 handshake: server version %d", version)
+	}
+	c.numProcs, c.maxBatch = numProcs, maxBatch
+	return c, nil
+}
+
+// NumProcs returns the process count announced by the server.
+func (c *ClientV2) NumProcs() int { return c.numProcs }
+
+// MaxBatch returns the server's per-frame record limit.
+func (c *ClientV2) MaxBatch() int { return c.maxBatch }
+
+// exchange writes one frame and reads the next response frame.
+func (c *ClientV2) exchange(typ byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(c.w, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(c.r)
+}
+
+// errFromFrame converts a response frame into an error when it is not the
+// expected type.
+func errFromFrame(want, got byte, payload []byte) error {
+	if got == frameErr {
+		return fmt.Errorf("monitor: server: %s", payload)
+	}
+	return fmt.Errorf("monitor: server sent frame 0x%02x, want 0x%02x", got, want)
+}
+
+// ReportBatch streams a batch of events as one EVENTS frame. Batches larger
+// than the server's limit are split transparently.
+func (c *ClientV2) ReportBatch(events []model.Event) error {
+	for len(events) > 0 {
+		n := len(events)
+		if c.maxBatch > 0 && n > c.maxBatch {
+			n = c.maxBatch
+		}
+		typ, payload, err := c.exchange(frameEvents, encodeEventsPayload(events[:n]))
+		if err != nil {
+			return err
+		}
+		if typ != frameAck {
+			return errFromFrame(frameAck, typ, payload)
+		}
+		if accepted, err := decodeAckPayload(payload); err != nil {
+			return err
+		} else if accepted != n {
+			return fmt.Errorf("monitor: server acknowledged %d of %d events", accepted, n)
+		}
+		events = events[n:]
+	}
+	return nil
+}
+
+// Report streams one event.
+func (c *ClientV2) Report(e model.Event) error {
+	batch := [1]model.Event{e}
+	return c.ReportBatch(batch[:])
+}
+
+// QueryBatch answers a batch of precedence queries in one exchange. The
+// returned slice parallels qs; a result with a non-nil Err was rejected by
+// the server (e.g. an event not yet delivered).
+func (c *ClientV2) QueryBatch(qs []Query) ([]QueryResult, error) {
+	out := make([]QueryResult, 0, len(qs))
+	for len(qs) > 0 {
+		n := len(qs)
+		if c.maxBatch > 0 && n > c.maxBatch {
+			n = c.maxBatch
+		}
+		typ, payload, err := c.exchange(frameQuery, encodeQueryPayload(qs[:n]))
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameResults {
+			return nil, errFromFrame(frameResults, typ, payload)
+		}
+		codes, err := decodeResultsPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(codes) != n {
+			return nil, fmt.Errorf("monitor: server answered %d of %d queries", len(codes), n)
+		}
+		for _, code := range codes {
+			switch code {
+			case resultTrue:
+				out = append(out, QueryResult{True: true})
+			case resultFalse:
+				out = append(out, QueryResult{})
+			default:
+				out = append(out, QueryResult{Err: fmt.Errorf("monitor: server rejected query")})
+			}
+		}
+		qs = qs[n:]
+	}
+	return out, nil
+}
+
+// queryOne asks a single query and surfaces its per-query error.
+func (c *ClientV2) queryOne(q Query) (bool, error) {
+	res, err := c.QueryBatch([]Query{q})
+	if err != nil {
+		return false, err
+	}
+	if res[0].Err != nil {
+		return false, res[0].Err
+	}
+	return res[0].True, nil
+}
+
+// Precedes asks a happened-before query.
+func (c *ClientV2) Precedes(e, f model.EventID) (bool, error) {
+	return c.queryOne(Query{Op: OpPrecedes, A: e, B: f})
+}
+
+// Concurrent asks a concurrency query.
+func (c *ClientV2) Concurrent(e, f model.EventID) (bool, error) {
+	return c.queryOne(Query{Op: OpConcurrent, A: e, B: f})
+}
+
+// Stats fetches the server's statistics body.
+func (c *ClientV2) Stats() (string, error) {
+	typ, payload, err := c.exchange(frameStats, nil)
+	if err != nil {
+		return "", err
+	}
+	if typ != frameStatsR {
+		return "", errFromFrame(frameStatsR, typ, payload)
+	}
+	return string(payload), nil
+}
+
+// Close sends QUIT (best-effort) and closes the connection.
+func (c *ClientV2) Close() error {
+	_, _, _ = c.exchange(frameQuit, nil)
+	return c.conn.Close()
+}

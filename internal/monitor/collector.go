@@ -21,7 +21,10 @@ import (
 //   - a synchronous event is held until its partner is also at the front of
 //     its own process, whereupon both halves are delivered back to back.
 //
-// Submit may be called from many goroutines. Close drains the stream and
+// Submit and SubmitBatch may be called from many goroutines. Deliverable
+// events are handed to the monitor as one run per call — the monitor's
+// write lock is taken once per run, not once per event — which is what
+// makes batched network ingestion fast. Close drains the stream and
 // reports any stranded events (which indicate a corrupt or incomplete
 // computation).
 type Collector struct {
@@ -32,6 +35,7 @@ type Collector struct {
 	pending []map[model.EventIndex]model.Event // per process: arrived, undelivered
 	next    []model.EventIndex                 // next index to deliver per process
 	held    int
+	run     []model.Event // deliverable run being assembled (reused)
 }
 
 // NewCollector wraps a monitor for out-of-order ingestion.
@@ -49,11 +53,50 @@ func NewCollector(m *Monitor) *Collector {
 // Submit accepts one event record from a process's instrumentation and
 // delivers every event that became deliverable as a result.
 func (c *Collector) Submit(e model.Event) error {
+	batch := [1]model.Event{e}
+	return c.SubmitBatch(batch[:])
+}
+
+// SubmitBatch accepts a batch of event records — the payload of one EVENTS
+// frame — and delivers everything that became deliverable as one run. The
+// records may be from any mix of processes and in any order. On a bad
+// record the batch's prefix stays applied and the error names the offender;
+// already-deliverable events are still delivered.
+func (c *Collector) SubmitBatch(events []model.Event) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
+	var firstErr error
+	touched := make([]int, 0, 8)
+	seen := make(map[int]bool, 8)
+	for i, e := range events {
+		if err := c.insert(e); err != nil {
+			if len(events) == 1 {
+				firstErr = err
+			} else {
+				firstErr = fmt.Errorf("batch record %d: %w", i, err)
+			}
+			break
+		}
+		p := int(e.ID.Process)
+		if !seen[p] {
+			seen[p] = true
+			touched = append(touched, p)
+		}
+	}
+	if err := c.drain(touched); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := c.flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// insert validates one record and buffers it as pending.
+func (c *Collector) insert(e model.Event) error {
 	p := int(e.ID.Process)
 	if p < 0 || p >= len(c.pending) {
 		return fmt.Errorf("monitor: event %v: process out of range", e.ID)
@@ -66,7 +109,7 @@ func (c *Collector) Submit(e model.Event) error {
 	}
 	c.pending[p][e.ID.Index] = e
 	c.held++
-	return c.drain(p)
+	return nil
 }
 
 // delivered reports whether the event with the given ID has been delivered.
@@ -80,12 +123,16 @@ func (c *Collector) front(p int) (model.Event, bool) {
 	return e, ok
 }
 
-// drain repeatedly delivers deliverable front events, starting from process
-// start and following the enablement edges (a delivered send may unblock its
-// receiver; a delivered event always may unblock its own process's next).
-func (c *Collector) drain(start int) error {
-	work := []int{start}
-	inWork := map[int]bool{start: true}
+// drain repeatedly appends deliverable front events to the current run,
+// starting from the given processes and following the enablement edges (a
+// delivered send may unblock its receiver; a delivered event always may
+// unblock its own process's next).
+func (c *Collector) drain(start []int) error {
+	work := append([]int(nil), start...)
+	inWork := make(map[int]bool, len(start))
+	for _, p := range start {
+		inWork[p] = true
+	}
 	enqueue := func(q int) {
 		if q >= 0 && q < len(c.pending) && !inWork[q] {
 			work = append(work, q)
@@ -105,14 +152,10 @@ func (c *Collector) drain(start int) error {
 			}
 			switch e.Kind {
 			case model.Unary:
-				if err := c.deliver(e); err != nil {
-					return err
-				}
+				c.deliver(e)
 				progress = true
 			case model.Send:
-				if err := c.deliver(e); err != nil {
-					return err
-				}
+				c.deliver(e)
 				// The matching receive's process may now be unblocked.
 				enqueue(int(e.Partner.Process))
 				progress = true
@@ -120,9 +163,7 @@ func (c *Collector) drain(start int) error {
 				// Blocked until the send is delivered; the send's
 				// delivery requeues this process.
 				if c.delivered(e.Partner) {
-					if err := c.deliver(e); err != nil {
-						return err
-					}
+					c.deliver(e)
 					progress = true
 				}
 			case model.Sync:
@@ -130,12 +171,8 @@ func (c *Collector) drain(start int) error {
 				// front of its process; both halves then go back to back.
 				q := int(e.Partner.Process)
 				if partner, ok := c.front(q); ok && partner.ID == e.Partner {
-					if err := c.deliver(e); err != nil {
-						return err
-					}
-					if err := c.deliver(partner); err != nil {
-						return err
-					}
+					c.deliver(e)
+					c.deliver(partner)
 					enqueue(q)
 					progress = true
 				}
@@ -147,13 +184,24 @@ func (c *Collector) drain(start int) error {
 	return nil
 }
 
-// deliver hands one front event to the monitor and advances the process.
-func (c *Collector) deliver(e model.Event) error {
+// deliver moves one front event onto the current run and advances the
+// process frontier.
+func (c *Collector) deliver(e model.Event) {
 	p := int(e.ID.Process)
 	delete(c.pending[p], e.ID.Index)
 	c.held--
 	c.next[p]++
-	return c.m.Deliver(e)
+	c.run = append(c.run, e)
+}
+
+// flush hands the assembled run to the monitor under one lock acquisition.
+func (c *Collector) flush() error {
+	if len(c.run) == 0 {
+		return nil
+	}
+	err := c.m.DeliverBatch(c.run)
+	c.run = c.run[:0]
+	return err
 }
 
 // Held returns the number of buffered, undelivered events.

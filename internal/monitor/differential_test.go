@@ -1,0 +1,126 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// TestDifferentialBatchedOutOfOrderIngestion is the correctness battery for
+// the batched ingest path: every corpus computation is fed through the
+// Collector under a seeded random cross-process arrival order, in batches
+// of random sizes, and the resulting monitor must answer sampled
+// PRECEDES/CONCURRENT queries identically to (a) a monitor fed by in-order
+// Deliver and (b) the Fidge/Mattern vector-clock oracle.
+func TestDifferentialBatchedOutOfOrderIngestion(t *testing.T) {
+	specs := workload.Corpus()
+	for i, spec := range specs {
+		if testing.Short() && i%7 != 0 {
+			continue
+		}
+		i, spec := i, spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := spec.Generate()
+			r := rand.New(rand.NewSource(0xD1FF + int64(i)))
+
+			// Vary the clustering configuration across computations so the
+			// equivalence is not an artifact of one setup.
+			cfg := hct.Config{MaxClusterSize: 3 + r.Intn(20)}
+			if i%2 == 0 {
+				cfg.Decider = strategy.NewMergeOnFirst()
+			} else {
+				cfg.Decider = strategy.NewMergeOnNth(5)
+			}
+
+			// Reference: in-order delivery.
+			ref, err := New(tr.NumProcs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.DeliverAll(tr); err != nil {
+				t.Fatal(err)
+			}
+
+			// Batched, shuffled ingestion: a uniformly random permutation of
+			// the whole trace (per-process order is restored by the
+			// collector), submitted in batches of random sizes.
+			m, err := New(tr.NumProcs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := NewCollector(m)
+			shuffled := make([]model.Event, len(tr.Events))
+			for to, from := range r.Perm(len(tr.Events)) {
+				shuffled[to] = tr.Events[from]
+			}
+			for lo := 0; lo < len(shuffled); {
+				hi := lo + 1 + r.Intn(128)
+				if hi > len(shuffled) {
+					hi = len(shuffled)
+				}
+				if err := c.SubmitBatch(shuffled[lo:hi]); err != nil {
+					t.Fatalf("SubmitBatch[%d:%d]: %v", lo, hi, err)
+				}
+				lo = hi
+			}
+			if held := c.Held(); held != 0 {
+				t.Fatalf("%d events held after full ingestion", held)
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fidge/Mattern oracle.
+			stamped, err := fm.StampAll(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock := make(map[model.EventID]vclock.Clock, len(stamped))
+			for _, st := range stamped {
+				clock[st.Event.ID] = st.Clock
+			}
+
+			// Sampled queries, asked three ways. The batched path is
+			// exercised through QueryBatch so the network-serving code path
+			// is the one being proven, not just the scalar wrappers.
+			samples := 250
+			if testing.Short() {
+				samples = 60
+			}
+			qs := make([]Query, 0, 2*samples)
+			for k := 0; k < samples; k++ {
+				e := tr.Events[r.Intn(len(tr.Events))].ID
+				f := tr.Events[r.Intn(len(tr.Events))].ID
+				qs = append(qs,
+					Query{Op: OpPrecedes, A: e, B: f},
+					Query{Op: OpConcurrent, A: e, B: f})
+			}
+			got := m.QueryBatch(qs)
+			want := ref.QueryBatch(qs)
+			for k, q := range qs {
+				if got[k].Err != nil || want[k].Err != nil {
+					t.Fatalf("query %+v: errors %v / %v", q, got[k].Err, want[k].Err)
+				}
+				if got[k].True != want[k].True {
+					t.Fatalf("query %+v: batched out-of-order %v, in-order %v", q, got[k].True, want[k].True)
+				}
+				var oracle bool
+				if q.Op == OpPrecedes {
+					oracle = fm.Precedes(q.A, clock[q.A], q.B, clock[q.B])
+				} else {
+					oracle = fm.Concurrent(q.A, clock[q.A], q.B, clock[q.B])
+				}
+				if got[k].True != oracle {
+					t.Fatalf("query %+v: cluster timestamps %v, Fidge/Mattern %v", q, got[k].True, oracle)
+				}
+			}
+		})
+	}
+}

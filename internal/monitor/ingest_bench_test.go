@@ -1,0 +1,39 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/hct"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func BenchmarkLocalIngestPaths(b *testing.B) {
+	spec, _ := workload.Find("pvm/ring-300")
+	tr := spec.Generate()
+	b.Run("deliverall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+			if err := m.DeliverAll(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+	b.Run("collector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+			c := NewCollector(m)
+			for lo := 0; lo < len(tr.Events); lo += 1024 {
+				hi := lo + 1024
+				if hi > len(tr.Events) {
+					hi = len(tr.Events)
+				}
+				if err := c.SubmitBatch(tr.Events[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	})
+}

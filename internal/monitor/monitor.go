@@ -8,6 +8,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/hct"
@@ -54,14 +55,32 @@ func (m *Monitor) Deliver(e model.Event) error {
 	return nil
 }
 
-// DeliverAll ingests a whole trace.
-func (m *Monitor) DeliverAll(t *model.Trace) error {
-	for _, e := range t.Events {
-		if err := m.Deliver(e); err != nil {
+// DeliverBatch ingests a run of events in delivery order under a single
+// acquisition of the monitor lock. This is the fast path behind batched
+// network ingestion: the per-event cost collapses to the store append and
+// timestamp observation, with the lock (and its cache traffic) amortized
+// over the whole run. On error the events before the failing one remain
+// delivered.
+func (m *Monitor) DeliverBatch(events []model.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range events {
+		if _, err := m.store.Append(e); err != nil {
+			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
+		}
+		if _, err := m.ts.Observe(e); err != nil {
 			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
 		}
 	}
 	return nil
+}
+
+// DeliverAll ingests a whole trace.
+func (m *Monitor) DeliverAll(t *model.Trace) error {
+	return m.DeliverBatch(t.Events)
 }
 
 // Precedes answers a happened-before query from the stored cluster
@@ -126,3 +145,78 @@ func (m *Monitor) Stats(fixedVector int) Stats {
 
 // ErrClosed is returned by Collector.Submit after Close.
 var ErrClosed = errors.New("monitor: collector closed")
+
+// QueryOp selects the precedence relation a Query asks about.
+type QueryOp uint8
+
+const (
+	// OpPrecedes asks whether A happened before B.
+	OpPrecedes QueryOp = iota
+	// OpConcurrent asks whether A and B are concurrent.
+	OpConcurrent
+)
+
+// Query is one precedence question, as carried by a batched QUERY frame.
+type Query struct {
+	Op   QueryOp
+	A, B model.EventID
+}
+
+// QueryResult is the answer to one Query. Err is non-nil when the query
+// could not be answered (e.g. an event not yet delivered).
+type QueryResult struct {
+	True bool
+	Err  error
+}
+
+// queryBatchParallelMin is the batch size above which QueryBatch shards the
+// work across goroutines. Below it the goroutine handoff costs more than the
+// queries themselves.
+const queryBatchParallelMin = 512
+
+// QueryBatch answers a batch of precedence queries under the read lock.
+// Queries from different connections run in parallel (the lock is shared),
+// and a large batch is additionally sharded across goroutines, each holding
+// its own read lock, so one fat QUERY frame can use several cores.
+func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
+	out := make([]QueryResult, len(qs))
+	if len(qs) < queryBatchParallelMin {
+		m.queryRange(qs, out)
+		return out
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards > len(qs)/queryBatchParallelMin+1 {
+		shards = len(qs)/queryBatchParallelMin + 1
+	}
+	per := (len(qs) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(qs); lo += per {
+		hi := lo + per
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.queryRange(qs[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// queryRange answers qs into res (same length) under one read-lock hold.
+func (m *Monitor) queryRange(qs []Query, res []QueryResult) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i, q := range qs {
+		switch q.Op {
+		case OpPrecedes:
+			res[i].True, res[i].Err = m.ts.Precedes(q.A, q.B)
+		case OpConcurrent:
+			res[i].True, res[i].Err = m.ts.Concurrent(q.A, q.B)
+		default:
+			res[i].Err = fmt.Errorf("monitor: unknown query op %d", q.Op)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package monitor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+// This file is the codec for protocol v2, the length-prefixed binary
+// protocol of the monitoring server. Protocol v1 (the line-oriented text
+// protocol) remains for nc-style debugging; the server auto-detects which
+// one a connection speaks from its first byte.
+//
+// Handshake: a v2 client opens with the 7-byte magic
+//
+//	0x00 'P' 'O' 'E' 'T' '2' '\n'
+//
+// The leading NUL can never start a v1 command line, so the server decides
+// the protocol from one byte without stalling text clients; the trailing
+// newline lets a line-oriented v1-only server scan the magic as a complete
+// garbage line and answer "ERR unknown command", which v2 clients use to
+// fall back (see DialAuto).
+//
+// After the magic every message in both directions is a frame:
+//
+//	[type:1][payloadLen:4 BE][payload:payloadLen]
+//
+// Frame types and payloads (all integers big-endian):
+//
+//	HELLO  s->c  version u8, numProcs u32, maxBatch u32
+//	EVENTS c->s  count u32, then count records:
+//	               kind u8 (0 unary, 1 send, 2 receive, 3 sync),
+//	               proc u32, index u32,
+//	               partnerProc u32, partnerIndex u32 (absent for unary)
+//	ACK    s->c  accepted u32            (EVENTS batch fully applied)
+//	QUERY  c->s  count u32, then count records:
+//	               op u8 (0 precedes, 1 concurrent),
+//	               aProc u32, aIndex u32, bProc u32, bIndex u32
+//	RESULTS s->c count u32, then count result bytes
+//	               (0 false, 1 true, 2 error)
+//	STATS  c->s  empty
+//	STATSR s->c  the v1 STATS body as text ("events=... crs=...")
+//	ERR    s->c  utf-8 message           (frame rejected; connection lives)
+//	QUIT   c->s  empty
+//	BYE    s->c  empty                   (connection closes)
+//
+// Decoding is strict and canonical: a payload must be consumed exactly, so
+// every accepted payload re-encodes to identical bytes (the fuzz harness
+// asserts this round-trip).
+
+// protocolV2Magic opens a v2 connection. The first byte is NUL so the text
+// protocol can never collide with it; the final newline terminates the
+// magic as a garbage line on servers that only speak the text protocol.
+var protocolV2Magic = [7]byte{0x00, 'P', 'O', 'E', 'T', '2', '\n'}
+
+// protocolV2Version is the protocol revision announced in HELLO.
+const protocolV2Version = 2
+
+// Frame types.
+const (
+	frameHello   byte = 0x01
+	frameEvents  byte = 0x02
+	frameAck     byte = 0x03
+	frameQuery   byte = 0x04
+	frameResults byte = 0x05
+	frameStats   byte = 0x06
+	frameStatsR  byte = 0x07
+	frameErr     byte = 0x08
+	frameQuit    byte = 0x09
+	frameBye     byte = 0x0a
+)
+
+// maxFramePayload is the hard framing cap. A frame claiming more than this
+// is unrecoverable (the stream offset is lost) and closes the connection.
+const maxFramePayload = 1 << 24
+
+// Result codes carried by RESULTS frames.
+const (
+	resultFalse byte = 0
+	resultTrue  byte = 1
+	resultErr   byte = 2
+)
+
+// Sizes of the fixed-width record encodings.
+const (
+	eventRecMin  = 1 + 4 + 4         // unary: kind, proc, index
+	eventRecFull = eventRecMin + 4*2 // with partner
+	queryRec     = 1 + 4*4           // op, a, b
+)
+
+// writeFrame emits one frame. The payload may be nil for empty frames.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, enforcing the framing cap.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("monitor: frame payload %d exceeds cap %d", n, maxFramePayload)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return hdr[0], payload, nil
+}
+
+// appendU32 appends v big-endian.
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// encodeEventsPayload serializes a batch of event records canonically.
+func encodeEventsPayload(events []model.Event) []byte {
+	b := make([]byte, 0, 4+len(events)*eventRecFull)
+	b = appendU32(b, uint32(len(events)))
+	for _, e := range events {
+		b = append(b, byte(e.Kind))
+		b = appendU32(b, uint32(e.ID.Process))
+		b = appendU32(b, uint32(e.ID.Index))
+		if e.Kind != model.Unary {
+			b = appendU32(b, uint32(e.Partner.Process))
+			b = appendU32(b, uint32(e.Partner.Index))
+		}
+	}
+	return b
+}
+
+// decodeEventsPayload parses an EVENTS payload. maxBatch <= 0 means
+// unlimited. The payload must be consumed exactly.
+func decodeEventsPayload(p []byte, maxBatch int) ([]model.Event, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("monitor: EVENTS payload truncated")
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if maxBatch > 0 && count > uint32(maxBatch) {
+		return nil, fmt.Errorf("monitor: EVENTS batch of %d exceeds limit %d", count, maxBatch)
+	}
+	if uint64(count)*eventRecMin > uint64(len(p)) {
+		return nil, fmt.Errorf("monitor: EVENTS count %d larger than payload", count)
+	}
+	events := make([]model.Event, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < eventRecMin {
+			return nil, fmt.Errorf("monitor: EVENTS record %d truncated", i)
+		}
+		kind := model.Kind(p[0])
+		if kind > model.Sync {
+			return nil, fmt.Errorf("monitor: EVENTS record %d: unknown kind %d", i, p[0])
+		}
+		e := model.Event{Kind: kind}
+		e.ID.Process = model.ProcessID(binary.BigEndian.Uint32(p[1:]))
+		e.ID.Index = model.EventIndex(binary.BigEndian.Uint32(p[5:]))
+		p = p[eventRecMin:]
+		if kind != model.Unary {
+			if len(p) < 8 {
+				return nil, fmt.Errorf("monitor: EVENTS record %d: partner truncated", i)
+			}
+			e.Partner.Process = model.ProcessID(binary.BigEndian.Uint32(p))
+			e.Partner.Index = model.EventIndex(binary.BigEndian.Uint32(p[4:]))
+			p = p[8:]
+		}
+		events = append(events, e)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("monitor: EVENTS payload has %d trailing bytes", len(p))
+	}
+	return events, nil
+}
+
+// encodeQueryPayload serializes a batch of precedence queries canonically.
+func encodeQueryPayload(qs []Query) []byte {
+	b := make([]byte, 0, 4+len(qs)*queryRec)
+	b = appendU32(b, uint32(len(qs)))
+	for _, q := range qs {
+		b = append(b, byte(q.Op))
+		b = appendU32(b, uint32(q.A.Process))
+		b = appendU32(b, uint32(q.A.Index))
+		b = appendU32(b, uint32(q.B.Process))
+		b = appendU32(b, uint32(q.B.Index))
+	}
+	return b
+}
+
+// decodeQueryPayload parses a QUERY payload. maxBatch <= 0 means unlimited.
+func decodeQueryPayload(p []byte, maxBatch int) ([]Query, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("monitor: QUERY payload truncated")
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if maxBatch > 0 && count > uint32(maxBatch) {
+		return nil, fmt.Errorf("monitor: QUERY batch of %d exceeds limit %d", count, maxBatch)
+	}
+	if uint64(count)*queryRec != uint64(len(p)) {
+		return nil, fmt.Errorf("monitor: QUERY count %d does not match payload size %d", count, len(p))
+	}
+	qs := make([]Query, 0, count)
+	for i := uint32(0); i < count; i++ {
+		op := QueryOp(p[0])
+		if op > OpConcurrent {
+			return nil, fmt.Errorf("monitor: QUERY record %d: unknown op %d", i, p[0])
+		}
+		q := Query{Op: op}
+		q.A.Process = model.ProcessID(binary.BigEndian.Uint32(p[1:]))
+		q.A.Index = model.EventIndex(binary.BigEndian.Uint32(p[5:]))
+		q.B.Process = model.ProcessID(binary.BigEndian.Uint32(p[9:]))
+		q.B.Index = model.EventIndex(binary.BigEndian.Uint32(p[13:]))
+		p = p[queryRec:]
+		qs = append(qs, q)
+	}
+	return qs, nil
+}
+
+// encodeResultsPayload serializes query answers as one code byte each.
+func encodeResultsPayload(res []QueryResult) []byte {
+	b := make([]byte, 0, 4+len(res))
+	b = appendU32(b, uint32(len(res)))
+	for _, r := range res {
+		switch {
+		case r.Err != nil:
+			b = append(b, resultErr)
+		case r.True:
+			b = append(b, resultTrue)
+		default:
+			b = append(b, resultFalse)
+		}
+	}
+	return b
+}
+
+// decodeResultsPayload parses a RESULTS payload into raw result codes.
+func decodeResultsPayload(p []byte) ([]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("monitor: RESULTS payload truncated")
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint64(count) != uint64(len(p)) {
+		return nil, fmt.Errorf("monitor: RESULTS count %d does not match payload size %d", count, len(p))
+	}
+	for i, code := range p {
+		if code > resultErr {
+			return nil, fmt.Errorf("monitor: RESULTS record %d: unknown code %d", i, code)
+		}
+	}
+	return p, nil
+}
+
+// encodeHelloPayload serializes the server's HELLO announcement.
+func encodeHelloPayload(version byte, numProcs, maxBatch int) []byte {
+	b := make([]byte, 0, 9)
+	b = append(b, version)
+	b = appendU32(b, uint32(numProcs))
+	b = appendU32(b, uint32(maxBatch))
+	return b
+}
+
+// decodeHelloPayload parses a HELLO payload.
+func decodeHelloPayload(p []byte) (version byte, numProcs, maxBatch int, err error) {
+	if len(p) != 9 {
+		return 0, 0, 0, fmt.Errorf("monitor: HELLO payload size %d, want 9", len(p))
+	}
+	return p[0], int(binary.BigEndian.Uint32(p[1:])), int(binary.BigEndian.Uint32(p[5:])), nil
+}
+
+// encodeAckPayload serializes an EVENTS acknowledgement.
+func encodeAckPayload(accepted int) []byte {
+	return appendU32(make([]byte, 0, 4), uint32(accepted))
+}
+
+// decodeAckPayload parses an ACK payload.
+func decodeAckPayload(p []byte) (accepted int, err error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("monitor: ACK payload size %d, want 4", len(p))
+	}
+	return int(binary.BigEndian.Uint32(p)), nil
+}

@@ -2,20 +2,26 @@ package monitor
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
 // Server exposes a Monitor over TCP, completing the Figure 1 architecture:
 // instrumented processes connect and stream their event records; query
 // clients (visualization engines, control entities) connect and ask
-// precedence questions. One line-oriented protocol serves both roles:
+// precedence questions. Two protocols serve both roles on one port, chosen
+// per connection by auto-detection on the first byte:
+//
+// Protocol v1 — line-oriented text, for nc-style debugging:
 //
 //	EVENT u <proc>:<idx>              -> OK | ERR <msg>
 //	EVENT s <proc>:<idx> -> <p>:<i>   -> OK | ERR <msg>
@@ -23,30 +29,113 @@ import (
 //	EVENT y <proc>:<idx> <> <p>:<i>   -> OK | ERR <msg>
 //	PRECEDES <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
 //	CONCURRENT <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
-//	STATS                              -> STATS events=<n> crs=<n> clusters=<n> held=<n>
+//	STATS                              -> STATS events=<n> crs=<n> ...
 //	QUIT                               -> BYE (closes the connection)
 //
+// Protocol v2 — length-prefixed binary frames carrying batches of events
+// and queries (see protocol.go for the framing spec). Event batches flow
+// through a bounded submit queue into the collector, which takes the
+// monitor's write lock once per deliverable run; query batches run under
+// the read lock concurrently across connections.
+//
 // Events may arrive out of order across connections; the server feeds them
-// through a Collector. The server is safe for many concurrent connections.
+// through a Collector. The server is safe for many concurrent connections
+// and enforces the configured connection, batch-size and deadline limits.
 type Server struct {
 	monitor   *Monitor
 	collector *Collector
-	fixedVec  int
+	cfg       ServerConfig
+	counters  metrics.ServerCounters
+	start     time.Time
+	submitQ   chan submitReq
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
+	wg       sync.WaitGroup // accept loop + connection goroutines
+	ingestWG sync.WaitGroup // ingest worker
 	closed   bool
 }
 
+// ServerConfig bounds the server's resource use. The zero value selects the
+// defaults below.
+type ServerConfig struct {
+	// FixedVector is the fixed timestamp-encoding vector size reported by
+	// STATS (storage accounting).
+	FixedVector int
+	// MaxConns caps simultaneously served connections; further dials are
+	// answered with "ERR server full" and closed. Default 1024.
+	MaxConns int
+	// MaxBatch caps the records in one EVENTS or QUERY frame. Oversized
+	// frames are rejected with an ERR frame. Default 8192.
+	MaxBatch int
+	// SubmitQueue bounds the event batches queued for ingestion across all
+	// connections; producers block (TCP backpressure) when it is full.
+	// Default 64.
+	SubmitQueue int
+	// IdleTimeout closes a connection that sends nothing for this long.
+	// Zero means no read deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. Zero means no deadline.
+	WriteTimeout time.Duration
+}
+
+// Defaults for the zero ServerConfig.
+const (
+	DefaultMaxConns    = 1024
+	DefaultMaxBatch    = 8192
+	DefaultSubmitQueue = 64
+)
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxConns <= 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.SubmitQueue <= 0 {
+		c.SubmitQueue = DefaultSubmitQueue
+	}
+	return c
+}
+
+// submitReq is one event batch queued for ingestion, with the channel the
+// acknowledging writer waits on.
+type submitReq struct {
+	events []model.Event
+	reply  chan error
+}
+
 // NewServer wraps a monitor for network serving.
-func NewServer(m *Monitor, fixedVector int) *Server {
-	return &Server{
+func NewServer(m *Monitor, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
 		monitor:   m,
 		collector: NewCollector(m),
-		fixedVec:  fixedVector,
+		cfg:       cfg,
+		start:     time.Now(),
+		submitQ:   make(chan submitReq, cfg.SubmitQueue),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	s.ingestWG.Add(1)
+	go s.ingestLoop()
+	return s
+}
+
+// Counters exposes the server's throughput counters (for dashboards and
+// benchmarks).
+func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
+
+// ingestLoop is the single ingestion worker: it applies queued event
+// batches to the collector in arrival order. One worker suffices — the
+// collector serializes on its own mutex — and decouples socket reading
+// from ingestion, so a connection can decode its next frame while its
+// previous batch is being timestamped.
+func (s *Server) ingestLoop() {
+	defer s.ingestWG.Done()
+	for req := range s.submitQ {
+		req.reply <- s.collector.SubmitBatch(req.events)
 	}
 }
 
@@ -85,13 +174,24 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.counters.ConnsRejected.Add(1)
+			conn.Write([]byte("ERR server full\n"))
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.counters.ConnsAccepted.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
 }
 
+// serveConn detects the connection's protocol from its first byte and
+// dispatches: v2 connections open with a NUL-led magic, which no v1
+// command line can start with.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -100,16 +200,56 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 64*1024), 1<<20)
+	r := bufio.NewReaderSize(conn, 64*1024)
+	s.setReadDeadline(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == protocolV2Magic[0] {
+		magic := make([]byte, len(protocolV2Magic))
+		if _, err := io.ReadFull(r, magic); err != nil || string(magic) != string(protocolV2Magic[:]) {
+			return
+		}
+		s.serveV2(conn, r)
+		return
+	}
+	s.serveV1(conn, r)
+}
+
+// setReadDeadline arms the idle timeout before a blocking read.
+func (s *Server) setReadDeadline(conn net.Conn) {
+	if s.cfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+}
+
+// setWriteDeadline arms the write timeout before a response write.
+func (s *Server) setWriteDeadline(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// --- protocol v1: line-oriented text ------------------------------------
+
+func (s *Server) serveV1(conn net.Conn, r *bufio.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	w := bufio.NewWriter(conn)
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
+	for {
+		s.setReadDeadline(conn)
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		s.counters.LinesRead.Add(1)
 		resp, quit := s.handle(line)
 		fmt.Fprintln(w, resp)
+		s.setWriteDeadline(conn)
 		if err := w.Flush(); err != nil {
 			return
 		}
@@ -119,29 +259,34 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handle executes one protocol line.
+// handle executes one v1 protocol line.
 func (s *Server) handle(line string) (resp string, quit bool) {
 	fields := strings.Fields(line)
 	switch strings.ToUpper(fields[0]) {
 	case "EVENT":
 		if len(fields) < 3 {
+			s.counters.ProtocolErrors.Add(1)
 			return "ERR event syntax", false
 		}
 		e, err := parseEventRecord(fields[1:])
 		if err != nil {
+			s.counters.ProtocolErrors.Add(1)
 			return "ERR " + err.Error(), false
 		}
 		if err := s.collector.Submit(e); err != nil {
 			return "ERR " + err.Error(), false
 		}
+		s.counters.EventsIngested.Add(1)
 		return "OK", false
 	case "PRECEDES", "CONCURRENT":
 		if len(fields) != 3 {
+			s.counters.ProtocolErrors.Add(1)
 			return "ERR query syntax", false
 		}
 		a, err1 := parseServerID(fields[1])
 		b, err2 := parseServerID(fields[2])
 		if err1 != nil || err2 != nil {
+			s.counters.ProtocolErrors.Add(1)
 			return "ERR bad event id", false
 		}
 		var res bool
@@ -151,22 +296,153 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 		} else {
 			res, err = s.monitor.Concurrent(a, b)
 		}
+		s.counters.QueryFrames.Add(1)
 		if err != nil {
 			return "ERR " + err.Error(), false
 		}
+		s.counters.QueriesAnswered.Add(1)
 		if res {
 			return "TRUE", false
 		}
 		return "FALSE", false
 	case "STATS":
-		st := s.monitor.Stats(s.fixedVec)
-		return fmt.Sprintf("STATS events=%d crs=%d clusters=%d held=%d storage=%d",
-			st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts), false
+		return "STATS " + s.statsBody(), false
 	case "QUIT":
 		return "BYE", true
 	default:
+		s.counters.ProtocolErrors.Add(1)
 		return "ERR unknown command", false
 	}
+}
+
+// statsBody renders the shared STATS payload: monitor accounting, collector
+// backlog, and the throughput counters with their rates since start.
+func (s *Server) statsBody() string {
+	st := s.monitor.Stats(s.cfg.FixedVector)
+	snap := s.counters.Snapshot()
+	rates := snap.Rates(time.Since(s.start))
+	return fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f",
+		st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts,
+		snap, rates.EventsPerSec, rates.QueriesPerSec)
+}
+
+// --- protocol v2: length-prefixed binary frames --------------------------
+
+// outItem is one response in a connection's ordered output stream: either a
+// ready frame, or a pending ingest acknowledgement the writer resolves when
+// the batch clears the submit queue.
+type outItem struct {
+	typ     byte
+	payload []byte
+	wait    chan error // non-nil: resolve to ACK(n) or ERR before writing
+	n       int        // batch size acknowledged on success
+}
+
+func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
+	out := make(chan outItem, 64)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		s.connWriter(conn, out)
+	}()
+	defer func() {
+		close(out)
+		wwg.Wait()
+	}()
+
+	out <- outItem{typ: frameHello, payload: encodeHelloPayload(protocolV2Version, s.monitor.NumProcs(), s.cfg.MaxBatch)}
+	for {
+		s.setReadDeadline(conn)
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			// Framing errors (oversized length prefix) lose the stream
+			// offset: report and drop the connection. Read errors and EOF
+			// just end the session.
+			if err != io.EOF && !isNetError(err) {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+			}
+			return
+		}
+		s.counters.FramesRead.Add(1)
+		switch typ {
+		case frameEvents:
+			events, err := decodeEventsPayload(payload, s.cfg.MaxBatch)
+			if err != nil {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+				continue
+			}
+			reply := make(chan error, 1)
+			s.submitQ <- submitReq{events: events, reply: reply} // blocks when full: backpressure
+			out <- outItem{wait: reply, n: len(events)}
+		case frameQuery:
+			qs, err := decodeQueryPayload(payload, s.cfg.MaxBatch)
+			if err != nil {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+				continue
+			}
+			res := s.monitor.QueryBatch(qs)
+			s.counters.QueryFrames.Add(1)
+			s.counters.QueriesAnswered.Add(int64(len(res)))
+			out <- outItem{typ: frameResults, payload: encodeResultsPayload(res)}
+		case frameStats:
+			out <- outItem{typ: frameStatsR, payload: []byte(s.statsBody())}
+		case frameQuit:
+			out <- outItem{typ: frameBye}
+			return
+		default:
+			s.counters.ProtocolErrors.Add(1)
+			out <- outItem{typ: frameErr, payload: []byte(fmt.Sprintf("monitor: unknown frame type 0x%02x", typ))}
+		}
+	}
+}
+
+// connWriter drains a connection's output stream in order, resolving
+// pending ingest acknowledgements as their batches clear the queue. It
+// flushes when the stream momentarily empties, so back-to-back responses
+// share syscalls. After a write failure it keeps draining (acknowledgement
+// channels must still be consumed) without writing.
+func (s *Server) connWriter(conn net.Conn, out <-chan outItem) {
+	w := bufio.NewWriterSize(conn, 64*1024)
+	broken := false
+	for item := range out {
+		typ, payload := item.typ, item.payload
+		if item.wait != nil {
+			if err := <-item.wait; err != nil {
+				typ, payload = frameErr, []byte(err.Error())
+			} else {
+				typ, payload = frameAck, encodeAckPayload(item.n)
+				s.counters.EventsIngested.Add(int64(item.n))
+				s.counters.BatchesIngested.Add(1)
+			}
+		}
+		if broken {
+			continue
+		}
+		s.setWriteDeadline(conn)
+		if err := writeFrame(w, typ, payload); err != nil {
+			broken = true
+			continue
+		}
+		if len(out) == 0 {
+			if err := w.Flush(); err != nil {
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		w.Flush()
+	}
+}
+
+// isNetError reports whether err is a transport-level error (as opposed to
+// a protocol framing error we should answer before closing).
+func isNetError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // parseEventRecord parses the event portion of an EVENT line, reusing the
@@ -219,9 +495,37 @@ func parseServerID(s string) (model.EventID, error) {
 	return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(idx)}, nil
 }
 
-// Close stops the listener, closes all connections and waits for the
-// serving goroutines; buffered events stranded in the collector are
-// reported as an error.
+// Shutdown drains gracefully: it stops accepting, then waits up to grace
+// for the remaining connections to finish their sessions (clients QUIT)
+// before forcing them closed via Close. In-flight batches are ingested
+// either way; the returned error reports events stranded in the collector.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // stop accepting; acceptLoop exits
+	}
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.Close()
+}
+
+// Close stops the listener, closes all connections, waits for the serving
+// goroutines, and drains the ingest queue; buffered events stranded in the
+// collector are reported as an error.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -238,106 +542,7 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
+	close(s.submitQ) // connections are gone; the worker drains and exits
+	s.ingestWG.Wait()
 	return s.collector.Close()
-}
-
-// Client is a minimal client for Server's protocol, used by instrumentation
-// shims and tests.
-type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-}
-
-// Dial connects to a monitoring server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
-}
-
-// roundTrip sends one line and reads one response line.
-func (c *Client) roundTrip(line string) (string, error) {
-	if _, err := fmt.Fprintln(c.conn, line); err != nil {
-		return "", err
-	}
-	resp, err := c.r.ReadString('\n')
-	if err != nil && (resp == "" || err != io.EOF) {
-		return "", err
-	}
-	return strings.TrimSpace(resp), nil
-}
-
-// Report streams one event to the server.
-func (c *Client) Report(e model.Event) error {
-	var line string
-	switch e.Kind {
-	case model.Unary:
-		line = fmt.Sprintf("EVENT u %d:%d", e.ID.Process, e.ID.Index)
-	case model.Send:
-		line = fmt.Sprintf("EVENT s %d:%d -> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
-	case model.Receive:
-		line = fmt.Sprintf("EVENT r %d:%d <- %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
-	case model.Sync:
-		line = fmt.Sprintf("EVENT y %d:%d <> %d:%d", e.ID.Process, e.ID.Index, e.Partner.Process, e.Partner.Index)
-	default:
-		return fmt.Errorf("monitor: unknown kind %v", e.Kind)
-	}
-	resp, err := c.roundTrip(line)
-	if err != nil {
-		return err
-	}
-	if resp != "OK" {
-		return fmt.Errorf("monitor: server: %s", resp)
-	}
-	return nil
-}
-
-// Precedes asks a happened-before query.
-func (c *Client) Precedes(e, f model.EventID) (bool, error) {
-	resp, err := c.roundTrip(fmt.Sprintf("PRECEDES %d:%d %d:%d", e.Process, e.Index, f.Process, f.Index))
-	if err != nil {
-		return false, err
-	}
-	switch resp {
-	case "TRUE":
-		return true, nil
-	case "FALSE":
-		return false, nil
-	}
-	return false, fmt.Errorf("monitor: server: %s", resp)
-}
-
-// Concurrent asks a concurrency query.
-func (c *Client) Concurrent(e, f model.EventID) (bool, error) {
-	resp, err := c.roundTrip(fmt.Sprintf("CONCURRENT %d:%d %d:%d", e.Process, e.Index, f.Process, f.Index))
-	if err != nil {
-		return false, err
-	}
-	switch resp {
-	case "TRUE":
-		return true, nil
-	case "FALSE":
-		return false, nil
-	}
-	return false, fmt.Errorf("monitor: server: %s", resp)
-}
-
-// Stats fetches the server-side statistics line.
-func (c *Client) Stats() (string, error) {
-	resp, err := c.roundTrip("STATS")
-	if err != nil {
-		return "", err
-	}
-	if !strings.HasPrefix(resp, "STATS ") {
-		return "", fmt.Errorf("monitor: server: %s", resp)
-	}
-	return strings.TrimPrefix(resp, "STATS "), nil
-}
-
-// Close ends the session.
-func (c *Client) Close() error {
-	_, _ = c.roundTrip("QUIT")
-	return c.conn.Close()
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/hct"
 	"repro/internal/model"
@@ -13,13 +14,16 @@ import (
 	"repro/internal/workload"
 )
 
-func startServer(t *testing.T, numProcs int) (*Server, string) {
+func startServer(t *testing.T, numProcs int, cfg ServerConfig) (*Server, string) {
 	t.Helper()
 	m, err := New(numProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(m, 300)
+	if cfg.FixedVector == 0 {
+		cfg.FixedVector = 300
+	}
+	srv := NewServer(m, cfg)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -27,19 +31,16 @@ func startServer(t *testing.T, numProcs int) (*Server, string) {
 	return srv, addr.String()
 }
 
-func TestServerEndToEnd(t *testing.T) {
+func TestServerEndToEndV1(t *testing.T) {
 	spec, ok := workload.Find("dce/rpc-36")
 	if !ok {
 		t.Fatal("spec missing")
 	}
 	tr := spec.Generate()
-	srv, addr := startServer(t, tr.NumProcs)
+	srv, addr := startServer(t, tr.NumProcs, ServerConfig{})
 
 	// One client connection per simulated process, streaming concurrently.
-	streams := make([][]model.Event, tr.NumProcs)
-	for _, e := range tr.Events {
-		streams[e.ID.Process] = append(streams[e.ID.Process], e)
-	}
+	streams := perProcessStreams(tr)
 	var wg sync.WaitGroup
 	errCh := make(chan error, tr.NumProcs)
 	for _, stream := range streams {
@@ -101,8 +102,191 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 }
 
-func TestServerProtocolErrors(t *testing.T) {
-	srv, addr := startServer(t, 2)
+func TestServerEndToEndV2(t *testing.T) {
+	spec, ok := workload.Find("dce/rpc-36")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	srv, addr := startServer(t, tr.NumProcs, ServerConfig{MaxBatch: 256})
+
+	// Reference answers from an in-order local monitor.
+	ref, err := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.DeliverAll(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream per-process shards concurrently in small batches.
+	streams := perProcessStreams(tr)
+	var wg sync.WaitGroup
+	errCh := make(chan error, tr.NumProcs)
+	for _, stream := range streams {
+		stream := stream
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := DialV2(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			if c.NumProcs() != tr.NumProcs {
+				errCh <- errStr("HELLO numProcs mismatch")
+				return
+			}
+			for lo := 0; lo < len(stream); lo += 7 {
+				hi := lo + 7
+				if hi > len(stream) {
+					hi = len(stream)
+				}
+				if err := c.ReportBatch(stream[lo:hi]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	qc, err := DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	stats, err := qc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"held=0", "ingested=", "batches="} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("stats %q missing %q", stats, want)
+		}
+	}
+
+	// Batched queries agree with the reference monitor.
+	qs := make([]Query, 0, 2*len(tr.Events))
+	for i := 0; i+1 < len(tr.Events); i += 2 {
+		qs = append(qs, Query{Op: OpPrecedes, A: tr.Events[i].ID, B: tr.Events[i+1].ID})
+		qs = append(qs, Query{Op: OpConcurrent, A: tr.Events[i].ID, B: tr.Events[i+1].ID})
+	}
+	res, err := qc.QueryBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(res), len(qs))
+	}
+	for i, q := range qs {
+		if res[i].Err != nil {
+			t.Fatalf("query %d (%+v): %v", i, q, res[i].Err)
+		}
+		want := QueryResult{}
+		want.True, want.Err = answerLocal(ref, q)
+		if want.Err != nil || res[i].True != want.True {
+			t.Fatalf("query %d (%+v): got %v want %v (%v)", i, q, res[i].True, want.True, want.Err)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// answerLocal answers one Query against a local monitor.
+func answerLocal(m *Monitor, q Query) (bool, error) {
+	if q.Op == OpPrecedes {
+		return m.Precedes(q.A, q.B)
+	}
+	return m.Concurrent(q.A, q.B)
+}
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func TestServerDialAutoFallsBackToV1(t *testing.T) {
+	// A listener that answers the v2 magic like an old v1-only server:
+	// a text error line. DialAuto must fall back to protocol v1.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if strings.HasPrefix(strings.TrimSpace(line), "STATS") {
+						conn.Write([]byte("STATS events=0\n"))
+					} else if strings.HasPrefix(strings.TrimSpace(line), "QUIT") {
+						conn.Write([]byte("BYE\n"))
+						return
+					} else {
+						conn.Write([]byte("ERR unknown command\n"))
+					}
+				}
+			}(conn)
+		}
+	}()
+	sess, err := DialAuto(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("DialAuto: %v", err)
+	}
+	defer sess.Close()
+	if _, ok := sess.(*Client); !ok {
+		t.Fatalf("expected v1 fallback, got %T", sess)
+	}
+	if _, err := sess.Stats(); err != nil {
+		t.Fatalf("fallback Stats: %v", err)
+	}
+}
+
+func TestServerDialAutoPrefersV2(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{})
+	defer srv.Close()
+	sess, err := DialAuto(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, ok := sess.(*ClientV2); !ok {
+		t.Fatalf("expected v2 session, got %T", sess)
+	}
+	if err := sess.ReportBatch([]model.Event{
+		{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary},
+		{ID: model.EventID{Process: 1, Index: 1}, Kind: model.Unary},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conc, err := sess.Concurrent(model.EventID{Process: 0, Index: 1}, model.EventID{Process: 1, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conc {
+		t.Fatal("independent unary events not concurrent")
+	}
+}
+
+func TestServerProtocolErrorsV1(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{})
 	defer srv.Close()
 
 	conn, err := net.Dial("tcp", addr)
@@ -139,4 +323,171 @@ func TestServerProtocolErrors(t *testing.T) {
 			t.Fatalf("%q -> %q, want prefix %q", tc.send, resp, tc.want)
 		}
 	}
+}
+
+func TestServerV2RejectsBadFramesAndSurvives(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{MaxBatch: 4})
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(protocolV2Magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	typ, _, err := readFrame(r)
+	if err != nil || typ != frameHello {
+		t.Fatalf("handshake: frame 0x%02x, err %v", typ, err)
+	}
+
+	// Unknown frame type, truncated EVENTS, oversized batch: each must get
+	// an ERR frame and leave the connection serving.
+	bad := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{0x7f, nil},
+		{frameEvents, []byte{0, 0}},
+		{frameEvents, encodeEventsPayload(make([]model.Event, 9))}, // > MaxBatch=4
+		{frameQuery, []byte{0, 0, 0, 1, 99}},                       // bad op / size
+	}
+	for _, tc := range bad {
+		if err := writeFrame(conn, tc.typ, tc.payload); err != nil {
+			t.Fatal(err)
+		}
+		typ, _, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("after bad frame 0x%02x: %v", tc.typ, err)
+		}
+		if typ != frameErr {
+			t.Fatalf("bad frame 0x%02x answered with 0x%02x, want ERR", tc.typ, typ)
+		}
+	}
+
+	// The connection still ingests and answers.
+	if err := writeFrame(conn, frameEvents, encodeEventsPayload([]model.Event{
+		{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(r)
+	if err != nil || typ != frameAck {
+		t.Fatalf("ack: frame 0x%02x, err %v", typ, err)
+	}
+	if n, err := decodeAckPayload(payload); err != nil || n != 1 {
+		t.Fatalf("ack payload: %d, %v", n, err)
+	}
+	if srv.Counters().ProtocolErrors.Load() < int64(len(bad)) {
+		t.Fatalf("protocol errors not counted: %d", srv.Counters().ProtocolErrors.Load())
+	}
+}
+
+func TestServerMaxConns(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{MaxConns: 2})
+	defer srv.Close()
+
+	c1, err := DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// The third connection is refused with a text error on either protocol.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "ERR server full") {
+		t.Fatalf("over-limit conn got %q, %v", line, err)
+	}
+	if srv.Counters().ConnsRejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d", srv.Counters().ConnsRejected.Load())
+	}
+
+	// Dropping a connection frees a slot.
+	c2.Close()
+	waitFor(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) < 2
+	})
+	c3, err := DialV2(addr)
+	if err != nil {
+		t.Fatalf("slot not freed: %v", err)
+	}
+	c3.Close()
+}
+
+func TestServerIdleTimeout(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{IdleTimeout: 50 * time.Millisecond})
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing: the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the idle connection to be closed")
+	}
+}
+
+func TestServerShutdownDrains(t *testing.T) {
+	srv, addr := startServer(t, 2, ServerConfig{})
+
+	c, err := DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReportBatch([]model.Event{
+		{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(2 * time.Second) }()
+	// The client quits during the grace period; Shutdown must return nil
+	// (no stranded events) without waiting for the full grace.
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	// New connections are refused after shutdown.
+	if _, err := DialV2(addr); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
 }
