@@ -19,11 +19,11 @@ race:
 bench:
 	go test -bench=. -benchmem .
 
-# Sweep-kernel and server-ingest benchmarks, committed as JSON so
-# before/after numbers travel with the code.
+# Sweep-kernel, server-ingest and WAL-durability benchmarks, committed as
+# JSON so before/after numbers travel with the code.
 bench-json:
 	go test ./internal/experiment/ ./internal/monitor/ -run '^$$' \
-		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest' \
+		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 
 # Re-run the paper's full Section 4 evaluation.

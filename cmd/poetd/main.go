@@ -7,6 +7,13 @@
 //
 //	poetd -procs 300 -addr 127.0.0.1:7777 -maxcs 13 -strategy merge-nth -threshold 10
 //
+// With -wal the daemon becomes durable: every delivered run is appended to
+// a CRC-framed write-ahead log before it reaches the clustering structures,
+// and on restart the daemon replays the log (newest snapshot plus tail)
+// through the same batched ingest path, reconstructing its state exactly:
+//
+//	poetd -procs 300 -wal /var/lib/poetd/wal -fsync batch -snapshot-every 1048576
+//
 // Each connection speaks one of two protocols, auto-detected from its first
 // byte. Protocol v2 is the production path: length-prefixed binary frames
 // carrying batches of events and queries (see internal/monitor/protocol.go
@@ -47,6 +54,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/strategy"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,6 +71,9 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown drain window")
+		walDir    = flag.String("wal", "", "write-ahead log directory (empty = no durability)")
+		fsync     = flag.String("fsync", "batch", "WAL fsync policy: always | batch | never")
+		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
 	)
 	flag.Parse()
 
@@ -81,6 +92,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
 		os.Exit(1)
 	}
+
+	var wlog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+			os.Exit(2)
+		}
+		wlog, err = wal.Open(*walDir, wal.Options{
+			NumProcs:      *procs,
+			Sync:          policy,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+			os.Exit(1)
+		}
+		if n := wlog.RecoveredEvents(); n > 0 {
+			start := time.Now()
+			if err := wlog.Replay(m.DeliverBatch); err != nil {
+				fmt.Fprintf(os.Stderr, "poetd: wal replay: %v\n", err)
+				os.Exit(1)
+			}
+			torn := ""
+			if wlog.TornTail() {
+				torn = ", torn tail truncated"
+			}
+			fmt.Printf("poetd: recovered %d events from %s in %v (%d records%s)\n",
+				n, *walDir, time.Since(start).Round(time.Millisecond), wlog.RecoveredRecords(), torn)
+		}
+	}
+
 	srv := monitor.NewServer(m, monitor.ServerConfig{
 		FixedVector:  *fixed,
 		MaxConns:     *maxConns,
@@ -88,6 +131,7 @@ func main() {
 		SubmitQueue:  *queue,
 		IdleTimeout:  *idle,
 		WriteTimeout: *writeTO,
+		Journal:      journalOrNil(wlog),
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -96,6 +140,9 @@ func main() {
 	}
 	fmt.Printf("poetd: monitoring %d processes on %s (%s, maxCS %d, maxBatch %d)\n",
 		*procs, bound, *strat, *maxCS, *maxBatch)
+	if wlog != nil {
+		fmt.Printf("poetd: wal %s (fsync=%s, snapshot-every=%d)\n", *walDir, *fsync, *snapEvery)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -109,4 +156,20 @@ func main() {
 	fmt.Printf("poetd: %d events, %d cluster receives, %d ints of timestamp storage\n",
 		st.Events, st.ClusterReceives, st.StorageInts)
 	fmt.Printf("poetd: %s\n", srv.Counters().Snapshot())
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "poetd: wal close: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("poetd: %s\n", wlog.Stats())
+	}
+}
+
+// journalOrNil converts a possibly-nil *wal.Log into the server's journal
+// interface without producing a non-nil interface around a nil pointer.
+func journalOrNil(l *wal.Log) monitor.RunJournal {
+	if l == nil {
+		return nil
+	}
+	return l
 }

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/hct"
+	"repro/internal/monitor"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// poetdProc wraps one running daemon: its process, and a line-scanner over
+// its stdout so tests can watch for the startup and recovery banners.
+type poetdProc struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func startPoetd(t *testing.T, bin string, args ...string) *poetdProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	return &poetdProc{cmd: cmd, lines: lines}
+}
+
+// waitLine waits for a stdout line containing substr and returns it.
+func (p *poetdProc) waitLine(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				t.Fatalf("poetd exited before printing %q", substr)
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for poetd to print %q", substr)
+		}
+	}
+}
+
+// boundAddr parses the listen address out of the startup banner
+// ("poetd: monitoring N processes on HOST:PORT (...)").
+func boundAddr(t *testing.T, banner string) string {
+	t.Helper()
+	i := strings.Index(banner, " on ")
+	if i < 0 {
+		t.Fatalf("unparseable banner %q", banner)
+	}
+	rest := banner[i+len(" on "):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// TestPoetdKillRecovery is the end-to-end crash test: the real daemon is
+// built, run with a WAL, killed with SIGKILL mid-stream, restarted on the
+// same directory, fed the stream again (duplicates are rejected politely),
+// and must then answer precedence queries exactly like an in-process
+// reference monitor.
+func TestPoetdKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real daemon; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "poetd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building poetd: %v", err)
+	}
+
+	tr := workload.RandomSparse(10, 3, 400, 7)
+	walDir := t.TempDir()
+	args := []string{
+		"-procs", fmt.Sprint(tr.NumProcs), "-addr", "127.0.0.1:0",
+		"-wal", walDir, "-fsync", "always", "-snapshot-every", "300",
+	}
+
+	// Phase 1: stream most of the computation, then pull the plug.
+	p1 := startPoetd(t, bin, args...)
+	addr := boundAddr(t, p1.waitLine(t, "monitoring"))
+	sess, err := monitor.DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(tr.Events) * 2 / 3
+	for lo := 0; lo < cut; lo += 64 {
+		hi := lo + 64
+		if hi > cut {
+			hi = cut
+		}
+		if err := sess.ReportBatch(tr.Events[lo:hi]); err != nil {
+			t.Fatalf("ReportBatch[%d:%d]: %v", lo, hi, err)
+		}
+	}
+	sess.Close()
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Phase 2: restart on the same WAL directory. The daemon must come back
+	// announcing a recovery.
+	p2 := startPoetd(t, bin, args...)
+	defer func() {
+		p2.cmd.Process.Kill()
+		p2.cmd.Wait()
+	}()
+	recLine := p2.waitLine(t, "recovered")
+	if !strings.Contains(recLine, "events from "+walDir) {
+		t.Fatalf("unexpected recovery banner %q", recLine)
+	}
+	addr = boundAddr(t, p2.waitLine(t, "monitoring"))
+	sess, err = monitor.DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Phase 3: the instrumentation re-sends the whole stream (it has no way
+	// to know how much survived). Durable events are rejected politely as
+	// already delivered; everything else is ingested.
+	resent, rejected := 0, 0
+	for _, e := range tr.Events {
+		if err := sess.Report(e); err != nil {
+			if !strings.Contains(err.Error(), "already delivered") {
+				t.Fatalf("resubmitting %v: %v", e.ID, err)
+			}
+			rejected++
+			continue
+		}
+		resent++
+	}
+	if rejected == 0 {
+		t.Fatal("no event was rejected as already delivered: nothing was recovered")
+	}
+	t.Logf("recovery: %d events survived the kill, %d resent", rejected, resent)
+
+	// Phase 4: the daemon's answers must match an uninterrupted reference.
+	ref, err := monitor.New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.DeliverAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 300; k++ {
+		a := tr.Events[(k*7919)%len(tr.Events)].ID
+		b := tr.Events[(k*104729)%len(tr.Events)].ID
+		got, err := sess.Precedes(a, b)
+		if err != nil {
+			t.Fatalf("Precedes(%v,%v): %v", a, b, err)
+		}
+		want, err := ref.Precedes(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Precedes(%v,%v) = %v after kill+recovery, reference %v", a, b, got, want)
+		}
+	}
+
+	// The STATS surface must expose the WAL counters.
+	stats, err := sess.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "wal_records=") {
+		t.Fatalf("STATS %q does not include WAL counters", stats)
+	}
+
+	// Phase 5: graceful shutdown closes the log cleanly.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("poetd exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("poetd did not shut down after SIGTERM")
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// WALCounters aggregates the durability counters of the monitor's
+// write-ahead log: how much it appended, how often it reached the disk, how
+// many snapshots it cut, and what recovery found at startup. All fields are
+// updated atomically so the ingest hot path never shares a lock with
+// readers of the STATS surface.
+type WALCounters struct {
+	RecordsAppended  atomic.Int64 // CRC-framed run records appended
+	EventsAppended   atomic.Int64 // events inside appended records
+	BytesAppended    atomic.Int64 // bytes appended (framing + payload)
+	Fsyncs           atomic.Int64 // explicit fsync calls issued
+	Snapshots        atomic.Int64 // snapshot compactions sealed
+	RecordsRecovered atomic.Int64 // records replayed at the last open
+	EventsRecovered  atomic.Int64 // events replayed at the last open
+	TornRecords      atomic.Int64 // torn/corrupt tail records truncated at open
+}
+
+// Snapshot captures a point-in-time copy of the counters (each field read
+// atomically; the set is not a global atomic snapshot, which is fine for
+// monotonic accounting).
+func (c *WALCounters) Snapshot() WALSnapshot {
+	return WALSnapshot{
+		RecordsAppended:  c.RecordsAppended.Load(),
+		EventsAppended:   c.EventsAppended.Load(),
+		BytesAppended:    c.BytesAppended.Load(),
+		Fsyncs:           c.Fsyncs.Load(),
+		Snapshots:        c.Snapshots.Load(),
+		RecordsRecovered: c.RecordsRecovered.Load(),
+		EventsRecovered:  c.EventsRecovered.Load(),
+		TornRecords:      c.TornRecords.Load(),
+	}
+}
+
+// WALSnapshot is a plain-integer copy of WALCounters.
+type WALSnapshot struct {
+	RecordsAppended  int64
+	EventsAppended   int64
+	BytesAppended    int64
+	Fsyncs           int64
+	Snapshots        int64
+	RecordsRecovered int64
+	EventsRecovered  int64
+	TornRecords      int64
+}
+
+// Sub returns the counter deltas s - earlier, for interval rates.
+func (s WALSnapshot) Sub(earlier WALSnapshot) WALSnapshot {
+	return WALSnapshot{
+		RecordsAppended:  s.RecordsAppended - earlier.RecordsAppended,
+		EventsAppended:   s.EventsAppended - earlier.EventsAppended,
+		BytesAppended:    s.BytesAppended - earlier.BytesAppended,
+		Fsyncs:           s.Fsyncs - earlier.Fsyncs,
+		Snapshots:        s.Snapshots - earlier.Snapshots,
+		RecordsRecovered: s.RecordsRecovered - earlier.RecordsRecovered,
+		EventsRecovered:  s.EventsRecovered - earlier.EventsRecovered,
+		TornRecords:      s.TornRecords - earlier.TornRecords,
+	}
+}
+
+// String renders the snapshot in the key=value style of the server's STATS
+// surface, so it can be appended verbatim to a STATS response.
+func (s WALSnapshot) String() string {
+	return fmt.Sprintf(
+		"wal_records=%d wal_events=%d wal_bytes=%d wal_fsyncs=%d wal_snapshots=%d wal_recovered=%d wal_recovered_records=%d wal_torn=%d",
+		s.RecordsAppended, s.EventsAppended, s.BytesAppended, s.Fsyncs,
+		s.Snapshots, s.EventsRecovered, s.RecordsRecovered, s.TornRecords)
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWALCountersConcurrentAndSnapshot(t *testing.T) {
+	var c WALCounters
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.RecordsAppended.Add(1)
+				c.EventsAppended.Add(5)
+				c.BytesAppended.Add(97)
+				c.Fsyncs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.RecordsAppended != workers*per || s.EventsAppended != 5*workers*per ||
+		s.BytesAppended != 97*workers*per || s.Fsyncs != workers*per {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestWALSnapshotSubAndString(t *testing.T) {
+	a := WALSnapshot{RecordsAppended: 10, EventsAppended: 100, BytesAppended: 1000, Fsyncs: 5, Snapshots: 1}
+	b := WALSnapshot{RecordsAppended: 25, EventsAppended: 450, BytesAppended: 9000, Fsyncs: 11, Snapshots: 2,
+		RecordsRecovered: 3, EventsRecovered: 30, TornRecords: 1}
+	d := b.Sub(a)
+	if d.RecordsAppended != 15 || d.EventsAppended != 350 || d.BytesAppended != 8000 ||
+		d.Fsyncs != 6 || d.Snapshots != 1 || d.EventsRecovered != 30 || d.TornRecords != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"wal_records=25", "wal_events=450", "wal_bytes=9000", "wal_fsyncs=11",
+		"wal_snapshots=2", "wal_recovered=30", "wal_recovered_records=3", "wal_torn=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() = %q, missing %q", out, want)
+		}
+	}
+}

@@ -65,7 +65,7 @@ func TestDifferentialBatchedOutOfOrderIngestion(t *testing.T) {
 				if hi > len(shuffled) {
 					hi = len(shuffled)
 				}
-				if err := c.SubmitBatch(shuffled[lo:hi]); err != nil {
+				if _, err := c.SubmitBatch(shuffled[lo:hi]); err != nil {
 					t.Fatalf("SubmitBatch[%d:%d]: %v", lo, hi, err)
 				}
 				lo = hi

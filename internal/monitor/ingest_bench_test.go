@@ -29,7 +29,7 @@ func BenchmarkLocalIngestPaths(b *testing.B) {
 				if hi > len(tr.Events) {
 					hi = len(tr.Events)
 				}
-				if err := c.SubmitBatch(tr.Events[lo:hi]); err != nil {
+				if _, err := c.SubmitBatch(tr.Events[lo:hi]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -83,6 +83,36 @@ func (m *Monitor) DeliverAll(t *model.Trace) error {
 	return m.DeliverBatch(t.Events)
 }
 
+// frontierNext returns, per process, the index of the next undelivered
+// event. A fresh monitor yields all ones; a monitor reconstructed from a
+// write-ahead log yields the recovered frontier, letting a Collector resume
+// the stream exactly where the durable state left off.
+func (m *Monitor) frontierNext() []model.EventIndex {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	next := make([]model.EventIndex, m.store.NumProcs())
+	for p := range next {
+		next[p] = 1
+		if n := m.store.Frontier(model.ProcessID(p)); n != nil {
+			next[p] = n.Event.ID.Index + 1
+		}
+	}
+	return next
+}
+
+// pendingSendTargets returns, for each delivered send whose receive has not
+// yet been delivered, the receive it targets. It seeds a resuming
+// Collector's in-flight message table.
+func (m *Monitor) pendingSendTargets() map[model.EventID]model.EventID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[model.EventID]model.EventID, m.store.PendingSends())
+	m.store.EachPendingSend(func(e model.Event) {
+		out[e.ID] = e.Partner
+	})
+	return out
+}
+
 // Precedes answers a happened-before query from the stored cluster
 // timestamps.
 func (m *Monitor) Precedes(e, f model.EventID) (bool, error) {

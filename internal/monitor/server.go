@@ -78,6 +78,11 @@ type ServerConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response write. Zero means no deadline.
 	WriteTimeout time.Duration
+	// Journal, when non-nil, receives every deliverable run before it is
+	// applied to the monitor (write-ahead durability); its counters are
+	// appended to STATS responses. internal/wal.Log is the production
+	// implementation.
+	Journal RunJournal
 }
 
 // Defaults for the zero ServerConfig.
@@ -104,15 +109,24 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // acknowledging writer waits on.
 type submitReq struct {
 	events []model.Event
-	reply  chan error
+	reply  chan submitResult
+}
+
+// submitResult is the outcome of one queued batch: how many records the
+// collector accepted (the applied prefix) and the first error, if any.
+type submitResult struct {
+	accepted int
+	err      error
 }
 
 // NewServer wraps a monitor for network serving.
 func NewServer(m *Monitor, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
+	collector := NewCollector(m)
+	collector.journal = cfg.Journal
 	s := &Server{
 		monitor:   m,
-		collector: NewCollector(m),
+		collector: collector,
 		cfg:       cfg,
 		start:     time.Now(),
 		submitQ:   make(chan submitReq, cfg.SubmitQueue),
@@ -135,7 +149,8 @@ func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
 func (s *Server) ingestLoop() {
 	defer s.ingestWG.Done()
 	for req := range s.submitQ {
-		req.reply <- s.collector.SubmitBatch(req.events)
+		n, err := s.collector.SubmitBatch(req.events)
+		req.reply <- submitResult{accepted: n, err: err}
 	}
 }
 
@@ -273,10 +288,14 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR " + err.Error(), false
 		}
-		if err := s.collector.Submit(e); err != nil {
+		batch := [1]model.Event{e}
+		n, err := s.collector.SubmitBatch(batch[:])
+		// The applied prefix counts even when a later stage (drain, journal)
+		// failed: the record is in the collector and will be delivered.
+		s.counters.EventsIngested.Add(int64(n))
+		if err != nil {
 			return "ERR " + err.Error(), false
 		}
-		s.counters.EventsIngested.Add(1)
 		return "OK", false
 	case "PRECEDES", "CONCURRENT":
 		if len(fields) != 3 {
@@ -316,14 +335,19 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 }
 
 // statsBody renders the shared STATS payload: monitor accounting, collector
-// backlog, and the throughput counters with their rates since start.
+// backlog, the throughput counters with their rates since start, and — when
+// a write-ahead journal is attached — the journal's durability counters.
 func (s *Server) statsBody() string {
 	st := s.monitor.Stats(s.cfg.FixedVector)
 	snap := s.counters.Snapshot()
 	rates := snap.Rates(time.Since(s.start))
-	return fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f",
+	body := fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f",
 		st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts,
 		snap, rates.EventsPerSec, rates.QueriesPerSec)
+	if s.cfg.Journal != nil {
+		body += " " + s.cfg.Journal.Stats()
+	}
+	return body
 }
 
 // --- protocol v2: length-prefixed binary frames --------------------------
@@ -334,8 +358,8 @@ func (s *Server) statsBody() string {
 type outItem struct {
 	typ     byte
 	payload []byte
-	wait    chan error // non-nil: resolve to ACK(n) or ERR before writing
-	n       int        // batch size acknowledged on success
+	wait    chan submitResult // non-nil: resolve to ACK(n) or ERR before writing
+	n       int               // batch size acknowledged on success
 }
 
 func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
@@ -374,7 +398,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
 				continue
 			}
-			reply := make(chan error, 1)
+			reply := make(chan submitResult, 1)
 			s.submitQ <- submitReq{events: events, reply: reply} // blocks when full: backpressure
 			out <- outItem{wait: reply, n: len(events)}
 		case frameQuery:
@@ -411,11 +435,14 @@ func (s *Server) connWriter(conn net.Conn, out <-chan outItem) {
 	for item := range out {
 		typ, payload := item.typ, item.payload
 		if item.wait != nil {
-			if err := <-item.wait; err != nil {
-				typ, payload = frameErr, []byte(err.Error())
+			res := <-item.wait
+			// The applied prefix counts even when the batch failed part-way:
+			// those events are in the collector and will be delivered.
+			s.counters.EventsIngested.Add(int64(res.accepted))
+			if res.err != nil {
+				typ, payload = frameErr, []byte(res.err.Error())
 			} else {
 				typ, payload = frameAck, encodeAckPayload(item.n)
-				s.counters.EventsIngested.Add(int64(item.n))
 				s.counters.BatchesIngested.Add(1)
 			}
 		}

@@ -191,6 +191,14 @@ func (s *Store) Frontier(p model.ProcessID) *Node {
 // PendingSends returns the number of sends awaiting their receive.
 func (s *Store) PendingSends() int { return len(s.pendingSends) }
 
+// EachPendingSend calls fn for every delivered send whose matching receive
+// has not yet been delivered, in no particular order.
+func (s *Store) EachPendingSend(fn func(model.Event)) {
+	for _, pos := range s.pendingSends {
+		fn(s.arena[pos].Event)
+	}
+}
+
 // CheckIndex validates the B-tree invariants and the index↔arena agreement.
 func (s *Store) CheckIndex() error {
 	if err := s.index.checkInvariants(); err != nil {

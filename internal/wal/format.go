@@ -1,0 +1,320 @@
+package wal
+
+// On-disk format of the monitor's write-ahead log. All integers are
+// big-endian, matching the wire protocol.
+//
+// A WAL directory holds segment files and snapshot files:
+//
+//	wal-<base>.log    log segment; <base> is the 16-hex-digit global event
+//	                  offset of the segment's first event
+//	snap-<count>.snap sealed snapshot of the first <count> delivered events
+//	snap-<count>.tmp  snapshot being written (deleted at open)
+//
+// Both file kinds open with a 24-byte header:
+//
+//	[magic:8]["POETWAL1" | "POETSNAP"]
+//	[n:8]    segment: base event offset; snapshot: event count
+//	[procs:4] process count of the monitored computation
+//	[crc:4]  CRC-32C of the preceding 20 bytes
+//
+// After the header both kinds carry a sequence of records, each one
+// deliverable run (the batch the collector handed to Monitor.DeliverBatch):
+//
+//	[payloadLen:4][crc:4][payload: count:4, then count event records]
+//
+// where an event record is the EVENTS wire shape: kind u8, proc u32,
+// index u32, then partnerProc u32, partnerIndex u32 unless unary. The CRC
+// is CRC-32C over the payload. Records are the unit of atomicity: recovery
+// never splits a run (so sync pairs, delivered back to back within one run,
+// are recovered together or not at all).
+//
+// A snapshot is terminated by a 16-byte seal:
+//
+//	[0xFFFFFFFF:4][count:8][crc:4 over the count bytes]
+//
+// The seal marker can never open a record (payload lengths are capped far
+// below it), so a reader knows a snapshot is complete — a snapshot without
+// a valid seal is a crashed compaction and is ignored. Segments have no
+// seal: their end is wherever valid records stop, and a torn or corrupt
+// tail (a crash mid-write) is truncated at open.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/model"
+)
+
+const (
+	segMagic  = "POETWAL1"
+	snapMagic = "POETSNAP"
+
+	fileHeaderLen   = 24
+	recordHeaderLen = 8
+	sealLen         = 16
+	sealMarker      = 0xFFFFFFFF
+
+	// maxRecordPayload caps one record's payload. Anything larger is treated
+	// as corruption; Append splits oversized runs below this.
+	maxRecordPayload = 1 << 26
+
+	eventRecMin  = 1 + 4 + 4
+	eventRecFull = eventRecMin + 4*2
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks a record that ends mid-write or fails its CRC: the expected
+// outcome of a crash during the final append.
+var errTorn = errors.New("wal: torn or corrupt record")
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// encodeRecord frames one run as a complete record into buf (which should
+// be sliced to zero length) and returns the grown buffer.
+func encodeRecord(buf []byte, events []model.Event) []byte {
+	buf = append(buf, make([]byte, recordHeaderLen)...)
+	start := len(buf)
+	buf = appendU32(buf, uint32(len(events)))
+	for _, e := range events {
+		buf = append(buf, byte(e.Kind))
+		buf = appendU32(buf, uint32(e.ID.Process))
+		buf = appendU32(buf, uint32(e.ID.Index))
+		if e.Kind != model.Unary {
+			buf = appendU32(buf, uint32(e.Partner.Process))
+			buf = appendU32(buf, uint32(e.Partner.Index))
+		}
+	}
+	payload := buf[start:]
+	binary.BigEndian.PutUint32(buf[start-recordHeaderLen:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start-recordHeaderLen+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// decodeRun parses a record payload into events, appending to dst.
+func decodeRun(dst []model.Event, p []byte) ([]model.Event, error) {
+	if len(p) < 4 {
+		return dst, fmt.Errorf("wal: run payload truncated")
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint64(count)*eventRecMin > uint64(len(p)) {
+		return dst, fmt.Errorf("wal: run count %d larger than payload", count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(p) < eventRecMin {
+			return dst, fmt.Errorf("wal: event %d truncated", i)
+		}
+		kind := model.Kind(p[0])
+		if kind > model.Sync {
+			return dst, fmt.Errorf("wal: event %d: unknown kind %d", i, p[0])
+		}
+		e := model.Event{Kind: kind}
+		e.ID.Process = model.ProcessID(binary.BigEndian.Uint32(p[1:]))
+		e.ID.Index = model.EventIndex(binary.BigEndian.Uint32(p[5:]))
+		p = p[eventRecMin:]
+		if kind != model.Unary {
+			if len(p) < 8 {
+				return dst, fmt.Errorf("wal: event %d: partner truncated", i)
+			}
+			e.Partner.Process = model.ProcessID(binary.BigEndian.Uint32(p))
+			e.Partner.Index = model.EventIndex(binary.BigEndian.Uint32(p[4:]))
+			p = p[8:]
+		}
+		dst = append(dst, e)
+	}
+	if len(p) != 0 {
+		return dst, fmt.Errorf("wal: run payload has %d trailing bytes", len(p))
+	}
+	return dst, nil
+}
+
+// writeFileHeader emits the 24-byte header of a segment or snapshot.
+func writeFileHeader(w io.Writer, magic string, n uint64, numProcs int) error {
+	buf := make([]byte, 0, fileHeaderLen)
+	buf = append(buf, magic...)
+	buf = appendU64(buf, n)
+	buf = appendU32(buf, uint32(numProcs))
+	buf = appendU32(buf, crc32.Checksum(buf, crcTable))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFileHeader reads and validates a segment or snapshot header.
+func readFileHeader(r io.Reader, magic string) (n uint64, numProcs int, err error) {
+	var buf [fileHeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("wal: short header: %w", err)
+	}
+	if string(buf[:8]) != magic {
+		return 0, 0, fmt.Errorf("wal: bad magic %q, want %q", buf[:8], magic)
+	}
+	if crc32.Checksum(buf[:20], crcTable) != binary.BigEndian.Uint32(buf[20:]) {
+		return 0, 0, fmt.Errorf("wal: header checksum mismatch")
+	}
+	return binary.BigEndian.Uint64(buf[8:]), int(binary.BigEndian.Uint32(buf[16:])), nil
+}
+
+// recordScanner iterates the CRC-framed records of an open segment or
+// snapshot body, tracking the byte offset of the record being read so a
+// torn tail can be truncated exactly where valid data ends.
+type recordScanner struct {
+	r   *bufio.Reader
+	off int64 // offset of the next unread record's header
+	buf []byte
+}
+
+func newRecordScanner(r io.Reader, headerEnd int64) *recordScanner {
+	return &recordScanner{r: bufio.NewReaderSize(r, 256*1024), off: headerEnd}
+}
+
+// next returns the payload of the next record (valid until the following
+// call) and the count field it carries. At a clean end of input it returns
+// io.EOF; a snapshot seal yields errSeal with the sealed count; anything
+// malformed yields errTorn.
+var errSeal = errors.New("wal: snapshot seal")
+
+func (s *recordScanner) next() (payload []byte, count uint32, sealCount uint64, err error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(s.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, 0, 0, io.EOF
+		}
+		return nil, 0, 0, errTorn
+	}
+	if _, err := io.ReadFull(s.r, hdr[1:]); err != nil {
+		return nil, 0, 0, errTorn
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == sealMarker {
+		// Snapshot seal: count u64 + crc u32 over those bytes.
+		var rest [sealLen - 4]byte
+		if _, err := io.ReadFull(s.r, rest[:4]); err != nil { // hdr[4:8] already read
+			return nil, 0, 0, errTorn
+		}
+		// hdr[4:8] holds the first 4 bytes of the count; rest[0:4] the last 4.
+		var cb [8]byte
+		copy(cb[:4], hdr[4:])
+		copy(cb[4:], rest[:4])
+		var crcb [4]byte
+		if _, err := io.ReadFull(s.r, crcb[:]); err != nil {
+			return nil, 0, 0, errTorn
+		}
+		if crc32.Checksum(cb[:], crcTable) != binary.BigEndian.Uint32(crcb[:]) {
+			return nil, 0, 0, errTorn
+		}
+		return nil, 0, binary.BigEndian.Uint64(cb[:]), errSeal
+	}
+	if n < 4 || n > maxRecordPayload {
+		return nil, 0, 0, errTorn
+	}
+	if cap(s.buf) < int(n) {
+		s.buf = make([]byte, n)
+	}
+	s.buf = s.buf[:n]
+	if _, err := io.ReadFull(s.r, s.buf); err != nil {
+		return nil, 0, 0, errTorn
+	}
+	if crc32.Checksum(s.buf, crcTable) != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, 0, 0, errTorn
+	}
+	s.off += int64(recordHeaderLen) + int64(n)
+	return s.buf, binary.BigEndian.Uint32(s.buf), 0, nil
+}
+
+// writeSeal emits a snapshot seal for count events.
+func writeSeal(w io.Writer, count uint64) error {
+	buf := make([]byte, 0, sealLen)
+	buf = appendU32(buf, sealMarker)
+	buf = appendU64(buf, count)
+	buf = appendU32(buf, crc32.Checksum(buf[4:12], crcTable))
+	_, err := w.Write(buf)
+	return err
+}
+
+// scanSegment validates a segment file: header, then every record. It
+// returns the event and record counts of the valid prefix. When truncate is
+// true (the final segment, where a crash may have torn the last append) a
+// torn or corrupt tail is truncated in place and reported; when false it is
+// an error, since a mid-chain segment was sealed by rotation and should
+// never be damaged.
+func scanSegment(path string, numProcs int, wantBase uint64, truncate bool) (events, records uint64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	base, procs, err := readFileHeader(f, segMagic)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if base != wantBase {
+		return 0, 0, false, fmt.Errorf("wal: %s: header base %d does not match name %d", path, base, wantBase)
+	}
+	if procs != numProcs {
+		return 0, 0, false, fmt.Errorf("wal: %s: logged for %d processes, monitor has %d", path, procs, numProcs)
+	}
+	sc := newRecordScanner(f, fileHeaderLen)
+	for {
+		_, count, _, err := sc.next()
+		if err == io.EOF {
+			return events, records, false, nil
+		}
+		if err != nil {
+			if !truncate {
+				return 0, 0, false, fmt.Errorf("wal: %s: corrupt record at offset %d in sealed segment", path, sc.off)
+			}
+			if terr := os.Truncate(path, sc.off); terr != nil {
+				return 0, 0, false, fmt.Errorf("wal: truncating torn tail of %s: %w", path, terr)
+			}
+			return events, records, true, nil
+		}
+		events += uint64(count)
+		records++
+	}
+}
+
+// validateSnapshot checks a snapshot file end to end: header, every chunk's
+// CRC, and a seal whose count matches both the header and the events seen.
+// It returns the sealed event count.
+func validateSnapshot(path string, numProcs int) (count uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	want, procs, err := readFileHeader(f, snapMagic)
+	if err != nil {
+		return 0, err
+	}
+	if procs != numProcs {
+		return 0, fmt.Errorf("wal: %s: snapshot of %d processes, monitor has %d", path, procs, numProcs)
+	}
+	sc := newRecordScanner(f, fileHeaderLen)
+	var seen uint64
+	for {
+		_, n, sealCount, err := sc.next()
+		if err == errSeal {
+			if sealCount != want || seen != want {
+				return 0, fmt.Errorf("wal: %s: seal count %d, header %d, events %d", path, sealCount, want, seen)
+			}
+			return want, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("wal: %s: unsealed or corrupt snapshot: %w", path, err)
+		}
+		seen += uint64(n)
+	}
+}

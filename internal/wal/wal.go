@@ -1,0 +1,801 @@
+// Package wal gives the monitoring entity a durable, replayable record of
+// its delivered-event sequence. The monitor's entire state — Fidge/Mattern
+// frontier, self-organized HCT cluster structure, precedence index — is a
+// deterministic function of the runs the collector delivers, so logging
+// those runs write-ahead and replaying them through the ingest path
+// reconstructs the monitor byte-identically after a crash (the replay-clock
+// durability argument of Lagwankar & Kulkarni).
+//
+// The log is a directory of CRC-framed segment files plus periodic
+// snapshots. A snapshot is a compaction: the durable prefix rewritten as
+// one sealed file, after which the older segments and snapshot are deleted
+// and recovery replays snapshot + WAL tail only. See format.go for the
+// byte-level layout and crash-window analysis.
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// SyncPolicy selects when appended records reach the disk.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) group-commits: an fsync is issued when
+	// SyncBytes have accumulated or SyncInterval has elapsed, whichever
+	// comes first. A crash loses at most that window of acknowledged
+	// events; throughput stays within a few percent of no durability.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs every appended run before it is delivered: no
+	// acknowledged event is ever lost, at the price of one fsync per run.
+	SyncAlways
+	// SyncNever leaves persistence to the page cache: a machine crash can
+	// lose everything since the OS last wrote back; a process crash loses
+	// only what the bufio layer still buffered.
+	SyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "batch"
+	}
+}
+
+// ParseSyncPolicy parses the -fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return SyncBatch, fmt.Errorf("wal: unknown fsync policy %q (want always, batch or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// NumProcs is the monitored process count; it is stamped into every
+	// file header and must match at reopen.
+	NumProcs int
+	// Sync is the fsync policy. The zero value is SyncBatch.
+	Sync SyncPolicy
+	// SyncInterval bounds the group-commit delay under SyncBatch.
+	// Default 50ms.
+	SyncInterval time.Duration
+	// SyncBytes triggers a group commit under SyncBatch once this many
+	// bytes are unsynced. Default 1 MiB.
+	SyncBytes int
+	// SnapshotEvery cuts a snapshot (asynchronously) each time this many
+	// events accumulate past the previous snapshot. Zero disables
+	// automatic snapshots; Compact remains available.
+	SnapshotEvery int64
+	// Counters, when non-nil, receives the log's durability accounting
+	// (appends, fsyncs, snapshots, recovery results).
+	Counters *metrics.WALCounters
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SyncBytes <= 0 {
+		o.SyncBytes = 1 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// maxEventsPerRecord bounds one record; larger runs are split (never
+// between the two halves of a sync pair, which must recover atomically).
+const maxEventsPerRecord = 1 << 20
+
+// segment describes one sealed, read-only log segment.
+type segment struct {
+	path   string
+	base   uint64 // global offset of the segment's first event
+	events uint64
+}
+
+// Log is an append-only write-ahead log of delivered runs. All methods are
+// safe for concurrent use; Append is designed to sit on the collector's
+// flush path.
+type Log struct {
+	dir      string
+	opts     Options
+	counters *metrics.WALCounters
+
+	mu         sync.Mutex
+	closed     bool
+	f          *os.File      // active segment
+	w          *bufio.Writer // buffers f
+	base       uint64        // event offset at the active segment's start
+	segEvents  uint64        // events appended to the active segment
+	appended   uint64        // global event count (durable + buffered)
+	snapCount  uint64        // events covered by the newest sealed snapshot
+	snapPath   string        // "" when no snapshot exists
+	frozen     []segment     // sealed segments awaiting compaction
+	dirtyBytes int           // bytes written since the last fsync
+	lastSync   time.Time
+	appending  bool // an Append has happened (Replay no longer allowed)
+	compacting bool
+	encBuf     []byte
+
+	recovered     uint64 // events found durable at Open
+	recoveredRecs uint64
+	torn          bool // a torn tail was truncated at Open
+
+	stopTick  chan struct{}
+	tickWG    sync.WaitGroup
+	compactWG sync.WaitGroup
+
+	compactMu  sync.Mutex
+	compactErr error // first asynchronous compaction failure
+}
+
+func segName(base uint64) string { return fmt.Sprintf("wal-%016x.log", base) }
+func snapName(n uint64) string   { return fmt.Sprintf("snap-%016x.snap", n) }
+
+// parseHexName extracts the 16-hex-digit counter from a WAL file name.
+func parseHexName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(mid, 16, 64)
+	return v, err == nil
+}
+
+// Open opens (or creates) the write-ahead log in dir and performs recovery:
+// it selects the newest sealed snapshot, discards crashed compaction
+// leftovers, validates every segment record, truncates a torn tail, and
+// positions the log for appending. Call Replay before the first Append to
+// stream the recovered sequence into a fresh monitor.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.NumProcs <= 0 {
+		return nil, fmt.Errorf("wal: NumProcs must be positive, got %d", opts.NumProcs)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, counters: opts.Counters, lastSync: time.Now()}
+	if l.counters == nil {
+		l.counters = &metrics.WALCounters{}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapCounts, segBases []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A compaction died mid-write; its seal is missing by
+			// construction, so the file is garbage.
+			os.Remove(filepath.Join(dir, name))
+		default:
+			if n, ok := parseHexName(name, "snap-", ".snap"); ok {
+				snapCounts = append(snapCounts, n)
+			} else if b, ok := parseHexName(name, "wal-", ".log"); ok {
+				segBases = append(segBases, b)
+			}
+		}
+	}
+	sort.Slice(snapCounts, func(i, j int) bool { return snapCounts[i] > snapCounts[j] })
+	sort.Slice(segBases, func(i, j int) bool { return segBases[i] < segBases[j] })
+
+	// Newest snapshot that validates end to end wins; an unsealed or
+	// corrupt one is a crashed compaction and is removed. Older sealed
+	// snapshots are fully covered by the winner and removed too.
+	for _, n := range snapCounts {
+		path := filepath.Join(dir, snapName(n))
+		if l.snapPath != "" {
+			os.Remove(path)
+			continue
+		}
+		if count, err := validateSnapshot(path, opts.NumProcs); err == nil && count == n {
+			l.snapPath, l.snapCount = path, n
+		} else {
+			os.Remove(path)
+		}
+	}
+
+	// Validate the segment chain. Only the final segment may have a torn
+	// tail (a crash mid-append); it is truncated to its valid prefix.
+	var segs []segment
+	for i, b := range segBases {
+		path := filepath.Join(dir, segName(b))
+		events, records, torn, err := scanSegment(path, opts.NumProcs, b, i == len(segBases)-1)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			l.torn = true
+			l.counters.TornRecords.Add(1)
+		}
+		if b+events <= l.snapCount {
+			// Fully covered by the snapshot: a compaction finished but
+			// crashed before deleting its inputs.
+			os.Remove(path)
+			continue
+		}
+		segs = append(segs, segment{path: path, base: b, events: events})
+		l.recoveredRecs += records
+	}
+	for i, seg := range segs {
+		if i == 0 {
+			if seg.base > l.snapCount {
+				return nil, fmt.Errorf("wal: gap: snapshot covers %d events but first segment starts at %d", l.snapCount, seg.base)
+			}
+		} else if seg.base != segs[i-1].base+segs[i-1].events {
+			return nil, fmt.Errorf("wal: gap: segment %s starts at %d, previous ends at %d",
+				seg.path, seg.base, segs[i-1].base+segs[i-1].events)
+		}
+	}
+
+	l.appended = l.snapCount
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		l.appended = last.base + last.events
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f, l.w = f, bufio.NewWriterSize(f, 256*1024)
+		l.base, l.segEvents = last.base, last.events
+		l.frozen = segs[:len(segs)-1]
+	} else if err := l.newSegment(l.appended); err != nil {
+		return nil, err
+	}
+
+	l.recovered = l.appended
+	l.counters.EventsRecovered.Store(int64(l.recovered))
+	l.counters.RecordsRecovered.Store(int64(l.recoveredRecs))
+
+	if opts.Sync == SyncBatch {
+		l.stopTick = make(chan struct{})
+		l.tickWG.Add(1)
+		go l.tickLoop()
+	}
+	return l, nil
+}
+
+// newSegment creates and activates a fresh segment starting at base.
+// Callers hold mu (or have exclusive access during Open).
+func (l *Log) newSegment(base uint64) error {
+	path := filepath.Join(l.dir, segName(base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 256*1024)
+	if err := writeFileHeader(w, segMagic, base, l.opts.NumProcs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.w, l.base, l.segEvents = f, w, base, 0
+	return nil
+}
+
+// RecoveredEvents returns the number of durable events found at Open.
+func (l *Log) RecoveredEvents() uint64 { return l.recovered }
+
+// RecoveredRecords returns the number of log records (snapshot chunks
+// excluded) found at Open.
+func (l *Log) RecoveredRecords() uint64 { return l.recoveredRecs }
+
+// TornTail reports whether Open truncated a torn or corrupt final record —
+// the signature of a crash mid-append.
+func (l *Log) TornTail() bool { return l.torn }
+
+// Appended returns the global count of events appended (durable or
+// buffered, per the sync policy).
+func (l *Log) Appended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// SnapshotCount returns the number of events covered by the newest sealed
+// snapshot.
+func (l *Log) SnapshotCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapCount
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Counters exposes the log's durability counters.
+func (l *Log) Counters() *metrics.WALCounters { return l.counters }
+
+// Stats renders the durability counters for the server's STATS surface
+// (together with AppendRun this implements monitor.RunJournal).
+func (l *Log) Stats() string { return l.counters.Snapshot().String() }
+
+// AppendRun appends one delivered run; it is Append under the name the
+// monitor's RunJournal interface expects.
+func (l *Log) AppendRun(events []model.Event) error { return l.Append(events) }
+
+// Replay streams the recovered delivered-event sequence — sealed snapshot
+// first, then the segment tail — in its original run batching. The batch
+// slice is reused between calls. Replay must run before the first Append;
+// feeding the batches to Monitor.DeliverBatch reconstructs the monitor
+// exactly as the uninterrupted run built it.
+func (l *Log) Replay(fn func(batch []model.Event) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.appending {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: Replay after Append")
+	}
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	snapPath, snapCount := l.snapPath, l.snapCount
+	segs := make([]segment, 0, len(l.frozen)+1)
+	segs = append(segs, l.frozen...)
+	segs = append(segs, segment{path: l.f.Name(), base: l.base, events: l.segEvents})
+	l.mu.Unlock()
+
+	pos := uint64(0)
+	if snapPath != "" {
+		if err := replaySnapshot(snapPath, l.opts.NumProcs, fn); err != nil {
+			return err
+		}
+		pos = snapCount
+	}
+	for _, seg := range segs {
+		var err error
+		pos, err = replaySegment(seg, l.opts.NumProcs, pos, fn)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySnapshot streams every chunk of a sealed snapshot.
+func replaySnapshot(path string, numProcs int, fn func([]model.Event) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	want, _, err := readFileHeader(f, snapMagic)
+	if err != nil {
+		return err
+	}
+	sc := newRecordScanner(f, fileHeaderLen)
+	var batch []model.Event
+	var seen uint64
+	for {
+		payload, _, sealCount, err := sc.next()
+		if err == errSeal {
+			if sealCount != want || seen != want {
+				return fmt.Errorf("wal: %s: seal disagrees with content", path)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wal: %s: %w", path, err)
+		}
+		batch, err = decodeRun(batch[:0], payload)
+		if err != nil {
+			return fmt.Errorf("wal: %s: %w", path, err)
+		}
+		seen += uint64(len(batch))
+		if err := fn(batch); err != nil {
+			return err
+		}
+	}
+}
+
+// replaySegment streams a segment's records, clipping events before global
+// position pos (already covered by the snapshot or a previous segment),
+// and returns the position after the segment.
+func replaySegment(seg segment, numProcs int, pos uint64, fn func([]model.Event) error) (uint64, error) {
+	if seg.base > pos {
+		return 0, fmt.Errorf("wal: gap before segment %s", seg.path)
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, _, err := readFileHeader(f, segMagic); err != nil {
+		return 0, fmt.Errorf("wal: %s: %w", seg.path, err)
+	}
+	sc := newRecordScanner(f, fileHeaderLen)
+	var batch []model.Event
+	cur := seg.base
+	end := seg.base + seg.events
+	for cur < end {
+		payload, _, _, err := sc.next()
+		if err != nil {
+			// The valid prefix was counted at Open; running out early means
+			// the file changed underneath us.
+			return 0, fmt.Errorf("wal: %s: segment shrank during replay: %w", seg.path, err)
+		}
+		batch, err = decodeRun(batch[:0], payload)
+		if err != nil {
+			return 0, fmt.Errorf("wal: %s: %w", seg.path, err)
+		}
+		k := uint64(len(batch))
+		switch {
+		case cur+k <= pos: // fully replayed already
+		case cur < pos: // straddles the resume point
+			if err := fn(batch[pos-cur:]); err != nil {
+				return 0, err
+			}
+		default:
+			if err := fn(batch); err != nil {
+				return 0, err
+			}
+		}
+		cur += k
+	}
+	if cur > pos {
+		pos = cur
+	}
+	return pos, nil
+}
+
+// Append logs one delivered run. It returns once the run is durable to the
+// configured policy: under SyncAlways the record has been fsynced; under
+// SyncBatch it is buffered and will be group-committed within SyncBytes /
+// SyncInterval; under SyncNever it is left to the page cache.
+func (l *Log) Append(events []model.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.appending = true
+	for start := 0; start < len(events); {
+		end := start + maxEventsPerRecord
+		if end >= len(events) {
+			end = len(events)
+		} else if events[end-1].Kind == model.Sync && events[end].Kind == model.Sync &&
+			events[end].Partner == events[end-1].ID && events[end-1].Partner == events[end].ID {
+			// Never split a sync pair across records: records are the unit
+			// of recovery atomicity and the pair must come back together.
+			end--
+		}
+		chunk := events[start:end]
+		l.encBuf = encodeRecord(l.encBuf[:0], chunk)
+		if _, err := l.w.Write(l.encBuf); err != nil {
+			return err
+		}
+		l.appended += uint64(len(chunk))
+		l.segEvents += uint64(len(chunk))
+		l.dirtyBytes += len(l.encBuf)
+		l.counters.RecordsAppended.Add(1)
+		l.counters.EventsAppended.Add(int64(len(chunk)))
+		l.counters.BytesAppended.Add(int64(len(l.encBuf)))
+		start = end
+	}
+
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case SyncBatch:
+		if l.dirtyBytes >= l.opts.SyncBytes {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if l.opts.SnapshotEvery > 0 && !l.compacting &&
+		l.appended-l.snapCount >= uint64(l.opts.SnapshotEvery) {
+		l.compacting = true
+		l.compactWG.Add(1)
+		go func() {
+			defer l.compactWG.Done()
+			if err := l.compact(); err != nil {
+				l.compactMu.Lock()
+				if l.compactErr == nil {
+					l.compactErr = err
+				}
+				l.compactMu.Unlock()
+			}
+		}()
+	}
+	return nil
+}
+
+// Sync forces buffered records to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if l.dirtyBytes == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirtyBytes = 0
+	l.lastSync = time.Now()
+	l.counters.Fsyncs.Add(1)
+	return nil
+}
+
+// tickLoop group-commits on the SyncInterval clock under SyncBatch.
+func (l *Log) tickLoop() {
+	defer l.tickWG.Done()
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirtyBytes > 0 && time.Since(l.lastSync) >= l.opts.SyncInterval {
+				l.syncLocked() // best effort; Append surfaces persistent failures
+			}
+			l.mu.Unlock()
+		case <-l.stopTick:
+			return
+		}
+	}
+}
+
+// Compact cuts a snapshot now: the durable prefix is rewritten as one
+// sealed snapshot file, the log rotates to a fresh segment, and the
+// superseded files are deleted. Appends continue concurrently into the new
+// segment. Compact returns once the snapshot is sealed (or found
+// unnecessary).
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.compacting {
+		l.mu.Unlock()
+		l.compactWG.Wait()
+		l.compactMu.Lock()
+		defer l.compactMu.Unlock()
+		return l.compactErr
+	}
+	l.compacting = true
+	l.mu.Unlock()
+	return l.compact()
+}
+
+// compact does the work; l.compacting is true and will be cleared here.
+func (l *Log) compact() error {
+	l.mu.Lock()
+	if l.closed {
+		l.compacting = false
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	cutoff := l.appended
+	if cutoff == l.snapCount {
+		l.compacting = false
+		l.mu.Unlock()
+		return nil
+	}
+	// Freeze the active segment (fully synced so the snapshot writer can
+	// read it) and rotate appends onto a fresh one.
+	if err := l.syncLocked(); err != nil {
+		l.compacting = false
+		l.mu.Unlock()
+		return err
+	}
+	oldSnapPath, oldSnapCount := l.snapPath, l.snapCount
+	frozen := append(append([]segment(nil), l.frozen...),
+		segment{path: l.f.Name(), base: l.base, events: l.segEvents})
+	oldFile := l.f
+	if err := l.newSegment(cutoff); err != nil {
+		// Rotation failed; keep appending to the old segment.
+		l.f = oldFile
+		l.compacting = false
+		l.mu.Unlock()
+		return err
+	}
+	oldFile.Close()
+	l.frozen = frozen
+	l.mu.Unlock()
+
+	snapPath, err := l.writeSnapshot(cutoff, oldSnapPath, oldSnapCount, frozen)
+
+	l.mu.Lock()
+	l.compacting = false
+	if err != nil {
+		// The frozen segments stay listed; recovery and the next compaction
+		// both remain correct without the new snapshot.
+		l.mu.Unlock()
+		return err
+	}
+	l.snapPath, l.snapCount = snapPath, cutoff
+	l.frozen = nil
+	l.mu.Unlock()
+
+	l.counters.Snapshots.Add(1)
+	// The snapshot fully covers the old snapshot and the frozen segments;
+	// deleting them is safe in any crash order now that the seal is synced.
+	if oldSnapPath != "" {
+		os.Remove(oldSnapPath)
+	}
+	for _, seg := range frozen {
+		os.Remove(seg.path)
+	}
+	return syncDir(l.dir)
+}
+
+// writeSnapshot streams old snapshot + frozen segments into a sealed
+// snapshot covering exactly cutoff events.
+func (l *Log) writeSnapshot(cutoff uint64, oldSnapPath string, oldSnapCount uint64, segs []segment) (string, error) {
+	tmp := filepath.Join(l.dir, fmt.Sprintf("snap-%016x.tmp", cutoff))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeFileHeader(w, snapMagic, cutoff, l.opts.NumProcs); err != nil {
+		return "", err
+	}
+	var written uint64
+	var buf []byte
+	emit := func(batch []model.Event) error {
+		buf = encodeRecord(buf[:0], batch)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		written += uint64(len(batch))
+		return nil
+	}
+	pos := uint64(0)
+	if oldSnapPath != "" {
+		if err := replaySnapshot(oldSnapPath, l.opts.NumProcs, emit); err != nil {
+			return "", err
+		}
+		pos = oldSnapCount
+	}
+	for _, seg := range segs {
+		if pos, err = replaySegment(seg, l.opts.NumProcs, pos, emit); err != nil {
+			return "", err
+		}
+	}
+	if written != cutoff {
+		return "", fmt.Errorf("wal: snapshot covers %d events, expected %d", written, cutoff)
+	}
+	if err := writeSeal(w, cutoff); err != nil {
+		return "", err
+	}
+	if err := w.Flush(); err != nil {
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmp)
+		return "", err
+	}
+	f = nil
+	final := filepath.Join(l.dir, snapName(cutoff))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// Close flushes and fsyncs outstanding records, waits for any running
+// compaction, and releases the log. It returns the first asynchronous
+// compaction error, if one occurred.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.mu.Unlock()
+	// Let a running compaction finish before tearing the files down.
+	l.compactWG.Wait()
+	if l.stopTick != nil {
+		close(l.stopTick)
+		l.tickWG.Wait()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	l.compactMu.Lock()
+	if err == nil {
+		err = l.compactErr
+	}
+	l.compactMu.Unlock()
+	return err
+}
+
+// syncDir fsyncs a directory so renames and deletions are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
