@@ -23,7 +23,7 @@ bench:
 # JSON so before/after numbers travel with the code.
 bench-json:
 	go test ./internal/experiment/ ./internal/monitor/ -run '^$$' \
-		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest' \
+		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest|BenchmarkObsOverhead' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 
 # Re-run the paper's full Section 4 evaluation.

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/workload"
+)
+
+// TestPoetdHTTPPlane drives the real daemon with -http and checks the whole
+// admin surface: probes, Prometheus metrics with live paper gauges, the
+// JSON status document, and the op-trace endpoint.
+func TestPoetdHTTPPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "poetd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building poetd: %v", err)
+	}
+
+	tr := workload.RandomSparse(10, 3, 400, 7)
+	p := startPoetd(t, bin,
+		"-procs", fmt.Sprint(tr.NumProcs), "-addr", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	defer func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}()
+	addr := boundAddr(t, p.waitLine(t, "monitoring"))
+	httpAddr := boundAddr(t, p.waitLine(t, "admin http listening"))
+	base := "http://" + httpAddr
+
+	// Drive some load so every instrument has observations.
+	sess, err := monitor.DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(tr.Events); lo += 64 {
+		hi := lo + 64
+		if hi > len(tr.Events) {
+			hi = len(tr.Events)
+		}
+		if err := sess.ReportBatch(tr.Events[lo:hi]); err != nil {
+			t.Fatalf("ReportBatch[%d:%d]: %v", lo, hi, err)
+		}
+	}
+	for k := 0; k < 50; k++ {
+		a := tr.Events[(k*7919)%len(tr.Events)].ID
+		b := tr.Events[(k*104729)%len(tr.Events)].ID
+		if _, err := sess.Precedes(a, b); err != nil {
+			t.Fatalf("Precedes(%v,%v): %v", a, b, err)
+		}
+	}
+	sess.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 while serving", code)
+	}
+
+	_, metricsBody := get("/metrics")
+	for _, series := range []string{
+		"poetd_ingest_batch_seconds_bucket{le=",
+		"poetd_ingest_batch_seconds_count",
+		"poetd_query_batch_seconds_count",
+		"poetd_decode_frame_seconds_count",
+		"poetd_ts_size_ratio",
+		"poetd_clusters_live",
+		"poetd_cluster_size_count{size=",
+		"poetd_events_ingested_total",
+		"poetd_greatest_cluster_first_hit_rate",
+	} {
+		if !strings.Contains(metricsBody, series) {
+			t.Errorf("/metrics is missing %q", series)
+		}
+	}
+	// The load above must have landed in the ingest histogram.
+	if strings.Contains(metricsBody, "poetd_ingest_batch_seconds_count 0\n") {
+		t.Error("/metrics reports zero ingest batches after load")
+	}
+
+	code, statusBody := get("/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var status struct {
+		Events int `json:"events"`
+		Paper  struct {
+			TimestampSizeRatio float64 `json:"timestamp_size_ratio"`
+			ClustersLive       int     `json:"clusters_live"`
+		} `json:"paper"`
+		Latency map[string]json.RawMessage `json:"latency"`
+	}
+	if err := json.Unmarshal([]byte(statusBody), &status); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, statusBody)
+	}
+	if status.Events != len(tr.Events) {
+		t.Errorf("/statusz events = %d, want %d", status.Events, len(tr.Events))
+	}
+	if status.Paper.TimestampSizeRatio <= 0 || status.Paper.TimestampSizeRatio > 1.5 {
+		t.Errorf("/statusz timestamp_size_ratio = %v, want a sane positive ratio", status.Paper.TimestampSizeRatio)
+	}
+	if status.Paper.ClustersLive <= 0 {
+		t.Errorf("/statusz clusters_live = %d, want > 0", status.Paper.ClustersLive)
+	}
+	if _, present := status.Latency["ingest_batch"]; !present {
+		t.Error("/statusz latency block is missing ingest_batch")
+	}
+
+	code, traceBody := get("/tracez?n=10")
+	if code != http.StatusOK {
+		t.Fatalf("/tracez = %d", code)
+	}
+	var traces struct {
+		Total   uint64            `json:"total"`
+		Slowest []json.RawMessage `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &traces); err != nil {
+		t.Fatalf("/tracez is not JSON: %v\n%s", err, traceBody)
+	}
+	if traces.Total == 0 || len(traces.Slowest) == 0 {
+		t.Errorf("/tracez total=%d slowest=%d, want traced ops after load", traces.Total, len(traces.Slowest))
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("poetd exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("poetd did not shut down after SIGTERM")
+	}
+}

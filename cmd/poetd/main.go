@@ -14,6 +14,16 @@
 //
 //	poetd -procs 300 -wal /var/lib/poetd/wal -fsync batch -snapshot-every 1048576
 //
+// With -http the daemon exposes an admin plane on a second listener:
+// Prometheus metrics at /metrics (ingest/query/WAL latency histograms plus
+// the paper's live gauges — timestamp size ratio, cluster distribution,
+// merge counts), JSON status at /statusz, the slowest recent operations at
+// /tracez, liveness and readiness probes, and the standard Go profiling
+// surface at /debug/pprof/:
+//
+//	poetd -procs 300 -http 127.0.0.1:7778
+//	curl -s 127.0.0.1:7778/metrics | grep poetd_ts_size_ratio
+//
 // Each connection speaks one of two protocols, auto-detected from its first
 // byte. Protocol v2 is the production path: length-prefixed binary frames
 // carrying batches of events and queries (see internal/monitor/protocol.go
@@ -43,16 +53,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/hct"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/wal"
 )
@@ -60,6 +77,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "127.0.0.1:7777", "listen address")
+		httpAddr  = flag.String("http", "", "admin HTTP listen address for /metrics, /statusz, /tracez, /debug/pprof (empty = disabled)")
 		procs     = flag.Int("procs", 300, "number of monitored processes")
 		maxCS     = flag.Int("maxcs", 13, "maximum cluster size")
 		strat     = flag.String("strategy", "merge-1st", "merge-1st | merge-nth")
@@ -74,8 +92,22 @@ func main() {
 		walDir    = flag.String("wal", "", "write-ahead log directory (empty = no durability)")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: always | batch | never")
 		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
+		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		slowOp    = flag.Duration("slow-op", 100*time.Millisecond, "log operations at least this slow at warn (0 = never)")
 	)
 	flag.Parse()
+
+	level, ok := parseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "poetd: unknown log level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	cfg := hct.Config{MaxClusterSize: *maxCS}
 	switch *strat {
@@ -89,9 +121,13 @@ func main() {
 	}
 	m, err := monitor.New(*procs, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
-		os.Exit(1)
+		fatal("monitor init failed", err)
 	}
+
+	reg := obs.NewRegistry()
+	tel := obs.NewTelemetry(reg)
+	tel.SlowOp = *slowOp
+	tel.Logger = logger
 
 	var wlog *wal.Log
 	if *walDir != "" {
@@ -104,23 +140,25 @@ func main() {
 			NumProcs:      *procs,
 			Sync:          policy,
 			SnapshotEvery: *snapEvery,
+			AppendTimer:   tel.WALAppend,
+			FsyncTimer:    tel.WALFsync,
+			SnapshotTimer: tel.WALSnapshot,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
-			os.Exit(1)
+			fatal("wal open failed", err)
 		}
+		wlog.RegisterMetrics(reg)
 		if n := wlog.RecoveredEvents(); n > 0 {
 			start := time.Now()
 			if err := wlog.Replay(m.DeliverBatch); err != nil {
-				fmt.Fprintf(os.Stderr, "poetd: wal replay: %v\n", err)
-				os.Exit(1)
+				fatal("wal replay failed", err)
 			}
-			torn := ""
-			if wlog.TornTail() {
-				torn = ", torn tail truncated"
-			}
-			fmt.Printf("poetd: recovered %d events from %s in %v (%d records%s)\n",
-				n, *walDir, time.Since(start).Round(time.Millisecond), wlog.RecoveredRecords(), torn)
+			// Warn, not Info: a recovery means the previous run did not shut
+			// down cleanly, and operators filtering at warn should see it.
+			logger.Warn("wal recovered",
+				"events", n, "dir", *walDir,
+				"duration", time.Since(start).Round(time.Millisecond),
+				"records", wlog.RecoveredRecords(), "torn_tail", wlog.TornTail())
 		}
 	}
 
@@ -132,37 +170,80 @@ func main() {
 		IdleTimeout:  *idle,
 		WriteTimeout: *writeTO,
 		Journal:      journalOrNil(wlog),
+		Obs:          tel,
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
-		os.Exit(1)
+		fatal("listen failed", err)
 	}
-	fmt.Printf("poetd: monitoring %d processes on %s (%s, maxCS %d, maxBatch %d)\n",
-		*procs, bound, *strat, *maxCS, *maxBatch)
+	logger.Info("monitoring",
+		"procs", *procs, "addr", bound, "strategy", *strat,
+		"maxcs", *maxCS, "maxbatch", *maxBatch)
 	if wlog != nil {
-		fmt.Printf("poetd: wal %s (fsync=%s, snapshot-every=%d)\n", *walDir, *fsync, *snapEvery)
+		logger.Info("wal enabled", "dir", *walDir, "fsync", *fsync, "snapshot_every", *snapEvery)
 	}
+
+	var ready atomic.Bool
+	var admin *http.Server
+	if *httpAddr != "" {
+		mux := obs.Admin{
+			Registry: reg,
+			Ready:    ready.Load,
+			Status:   func() any { return srv.Status() },
+			Ops:      tel.Ops,
+		}.Mux()
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal("admin http listen failed", err)
+		}
+		admin = &http.Server{Handler: mux}
+		go func() {
+			if err := admin.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin http server failed", "err", err)
+			}
+		}()
+		logger.Info("admin http listening", "addr", ln.Addr().String())
+	}
+	ready.Store(true)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Printf("poetd: draining (up to %v)\n", *grace)
+	ready.Store(false)
+	logger.Info("draining", "grace", *grace)
 	if err := srv.Shutdown(*grace); err != nil {
-		fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
-		os.Exit(1)
+		fatal("shutdown failed", err)
+	}
+	if admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(ctx)
+		cancel()
 	}
 	st := m.Stats(*fixed)
-	fmt.Printf("poetd: %d events, %d cluster receives, %d ints of timestamp storage\n",
-		st.Events, st.ClusterReceives, st.StorageInts)
-	fmt.Printf("poetd: %s\n", srv.Counters().Snapshot())
+	logger.Info("final accounting",
+		"events", st.Events, "cluster_receives", st.ClusterReceives, "storage_ints", st.StorageInts)
+	logger.Info("final counters", "counters", srv.Counters().Snapshot().String())
 	if wlog != nil {
 		if err := wlog.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "poetd: wal close: %v\n", err)
-			os.Exit(1)
+			fatal("wal close failed", err)
 		}
-		fmt.Printf("poetd: %s\n", wlog.Stats())
+		logger.Info("wal closed", "stats", wlog.Stats())
 	}
+}
+
+// parseLevel maps the -log-level flag onto a slog level.
+func parseLevel(s string) (slog.Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, true
+	case "info":
+		return slog.LevelInfo, true
+	case "warn":
+		return slog.LevelWarn, true
+	case "error":
+		return slog.LevelError, true
+	}
+	return 0, false
 }
 
 // journalOrNil converts a possibly-nil *wal.Log into the server's journal

@@ -65,19 +65,24 @@ func (p *poetdProc) waitLine(t *testing.T, substr string) string {
 	}
 }
 
-// boundAddr parses the listen address out of the startup banner
-// ("poetd: monitoring N processes on HOST:PORT (...)").
+// boundAddr parses the listen address out of a slog startup line
+// (`... msg=monitoring procs=N addr=HOST:PORT ...`).
 func boundAddr(t *testing.T, banner string) string {
 	t.Helper()
-	i := strings.Index(banner, " on ")
-	if i < 0 {
-		t.Fatalf("unparseable banner %q", banner)
+	return logAttr(t, banner, "addr")
+}
+
+// logAttr extracts one key=value attribute from a slog text line, stripping
+// quotes if the handler added them.
+func logAttr(t *testing.T, line, key string) string {
+	t.Helper()
+	for _, field := range strings.Fields(line) {
+		if v, found := strings.CutPrefix(field, key+"="); found {
+			return strings.Trim(v, `"`)
+		}
 	}
-	rest := banner[i+len(" on "):]
-	if j := strings.IndexByte(rest, ' '); j >= 0 {
-		rest = rest[:j]
-	}
-	return rest
+	t.Fatalf("no %s= attribute in log line %q", key, line)
+	return ""
 }
 
 // TestPoetdKillRecovery is the end-to-end crash test: the real daemon is
@@ -133,9 +138,9 @@ func TestPoetdKillRecovery(t *testing.T) {
 		p2.cmd.Process.Kill()
 		p2.cmd.Wait()
 	}()
-	recLine := p2.waitLine(t, "recovered")
-	if !strings.Contains(recLine, "events from "+walDir) {
-		t.Fatalf("unexpected recovery banner %q", recLine)
+	recLine := p2.waitLine(t, "wal recovered")
+	if got := logAttr(t, recLine, "dir"); got != walDir {
+		t.Fatalf("recovery line %q names dir %q, want %q", recLine, got, walDir)
 	}
 	addr = boundAddr(t, p2.waitLine(t, "monitoring"))
 	sess, err = monitor.DialV2(addr)

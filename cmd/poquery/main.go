@@ -14,6 +14,7 @@
 //
 //	poquery -addr 127.0.0.1:7777 -trace pvm/ring-300 -load -sample 50
 //	poquery -addr 127.0.0.1:7777 -e 0:1 -f 1:5
+//	poquery -addr 127.0.0.1:7777 -watch 1s        # live interval throughput
 //
 // With -load the trace is streamed to the daemon in event batches before
 // querying; when a trace is available the remote answers are additionally
@@ -27,8 +28,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/fm"
+	"repro/internal/metrics"
 	"repro/internal/hct"
 	"repro/internal/model"
 	"repro/internal/monitor"
@@ -53,6 +56,8 @@ func main() {
 		sample    = flag.Int("sample", 0, "answer this many random queries instead of -e/-f")
 		seed      = flag.Int64("seed", 1, "seed for -sample")
 		cut       = flag.Bool("cut", false, "with -e: print the greatest-predecessor and greatest-concurrent cuts of the event")
+		watch     = flag.Duration("watch", 0, "with -addr: poll STATS at this interval and print throughput deltas (0 = off)")
+		watchN    = flag.Int("watch-count", 0, "with -watch: stop after this many intervals (0 = until interrupted)")
 	)
 	flag.Parse()
 
@@ -65,8 +70,11 @@ func main() {
 	}
 
 	if *addr != "" {
-		runRemote(*addr, tr, *load, *eArg, *fArg, *sample, *seed, *cut)
+		runRemote(*addr, tr, *load, *eArg, *fArg, *sample, *seed, *cut, *watch, *watchN)
 		return
+	}
+	if *watch > 0 {
+		fatal(fmt.Errorf("-watch requires -addr"))
 	}
 	if tr == nil {
 		fatal(fmt.Errorf("need -in or -trace"))
@@ -173,7 +181,7 @@ func main() {
 
 // runRemote serves the -addr mode: the daemon answers, and when a trace is
 // available locally its Fidge/Mattern clocks validate the remote answers.
-func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sample int, seed int64, cut bool) {
+func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sample int, seed int64, cut bool, watch time.Duration, watchN int) {
 	if cut {
 		fatal(fmt.Errorf("-cut requires a local monitor (drop -addr)"))
 	}
@@ -202,6 +210,11 @@ func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sampl
 			fatal(err)
 		}
 		fmt.Printf("loaded %d events; %s\n", len(tr.Events), stats)
+	}
+
+	if watch > 0 {
+		runWatch(sess, watch, watchN)
+		return
 	}
 
 	var fmClock map[model.EventID]vclock.Clock
@@ -258,6 +271,41 @@ func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sampl
 	}
 	if err := query(e, f); err != nil {
 		fatal(err)
+	}
+}
+
+// runWatch polls the daemon's STATS surface and prints interval throughput —
+// a top(1)-style view of a running poetd, built entirely from the protocol
+// the daemon already speaks. Each line is the delta over one interval.
+func runWatch(sess monitor.Session, interval time.Duration, count int) {
+	stats, err := sess.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	prev, ok := metrics.ParseSnapshot(stats)
+	if !ok {
+		fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
+	}
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
+		"interval", "events/s", "batches/s", "queries/s", "ingested", "errors")
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for i := 0; count == 0 || i < count; i++ {
+		<-ticker.C
+		stats, err := sess.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		cur, ok := metrics.ParseSnapshot(stats)
+		if !ok {
+			fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
+		}
+		delta := cur.Sub(prev)
+		rates := delta.Rates(interval)
+		fmt.Printf("%-10s %12.0f %12.0f %12.0f %12d %10d\n",
+			interval, rates.EventsPerSec, rates.BatchesPerSec, rates.QueriesPerSec,
+			cur.EventsIngested, cur.ProtocolErrors)
+		prev = cur
 	}
 }
 

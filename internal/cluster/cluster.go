@@ -339,6 +339,16 @@ func (p *Partition) Validate() error {
 	return nil
 }
 
+// LiveSizes returns the sizes of the live clusters, in no particular order.
+// The telemetry plane renders these as the live cluster-size distribution.
+func (p *Partition) LiveSizes() []int {
+	out := make([]int, 0, len(p.live))
+	for _, inf := range p.live {
+		out = append(out, inf.Size())
+	}
+	return out
+}
+
 // MaxLiveSize returns the size of the largest live cluster.
 func (p *Partition) MaxLiveSize() int {
 	max := 0

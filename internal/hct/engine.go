@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/fm"
@@ -63,6 +64,14 @@ type Timestamper struct {
 	events    int
 	crEvents  int
 	mergedCRs int
+
+	// Query-path accounting. Precedence queries run concurrently under the
+	// monitor's read lock, so these are atomic: qDirect counts queries
+	// answered from the target timestamp's own cluster epoch (the
+	// greatest-cluster-first fast path), qRouted counts queries that had to
+	// route through the noted cluster receives.
+	qDirect atomic.Int64
+	qRouted atomic.Int64
 }
 
 // NewTimestamper returns a timestamper over numProcs processes.
@@ -108,6 +117,22 @@ func (ts *Timestamper) MergedClusterReceives() int { return ts.mergedCRs }
 
 // Partition exposes the live partition (read-only use only).
 func (ts *Timestamper) Partition() *cluster.Partition { return ts.part }
+
+// MaxClusterSize returns the configured cluster-size bound (the paper's
+// maxCS), which is also the projection-vector size of every non-CR
+// timestamp under the fixed-size encoding.
+func (ts *Timestamper) MaxClusterSize() int { return ts.cfg.MaxClusterSize }
+
+// Merges returns the number of cluster merges performed so far.
+func (ts *Timestamper) Merges() int { return ts.part.Merges() }
+
+// QueryPathCounts returns the precedence query-path tallies: direct is the
+// number of Precedes evaluations answered from the target timestamp's own
+// cluster epoch (or full vector), routed the number that consulted the
+// noted cluster receives. Safe to call concurrently with queries.
+func (ts *Timestamper) QueryPathCounts() (direct, routed int64) {
+	return ts.qDirect.Load(), ts.qRouted.Load()
+}
 
 // Observe ingests the next event in delivery order and returns the
 // timestamps finalized by it (two for the completion of a synchronous pair,
@@ -221,10 +246,12 @@ func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
 	eIdx := int32(e.Index)
 
 	if v, ok := tf.Component(e.Process); ok {
+		ts.qDirect.Add(1)
 		return v >= eIdx, nil
 	}
 
 	// pe outside f's cluster epoch: route through noted cluster receives.
+	ts.qRouted.Add(1)
 	c := tf.Cluster
 	for k, q := range c.Members {
 		g := ts.latestCRAtOrBelow(q, tf.Proj[k])

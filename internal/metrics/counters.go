@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -88,6 +90,49 @@ type ThroughputRates struct {
 	EventsPerSec  float64
 	BatchesPerSec float64
 	QueriesPerSec float64
+}
+
+// ParseSnapshot recovers a CounterSnapshot from a STATS response body (the
+// inverse of String; unknown keys are ignored). ok reports whether at least
+// one counter key was present — a remote speaking an older STATS dialect
+// yields ok == false rather than a zero snapshot masquerading as data.
+// This is what lets poquery -watch compute interval rates with Sub against
+// any running daemon, without a side channel.
+func ParseSnapshot(body string) (snap CounterSnapshot, ok bool) {
+	for _, field := range strings.Fields(body) {
+		eq := strings.IndexByte(field, '=')
+		if eq <= 0 {
+			continue
+		}
+		v, err := strconv.ParseInt(field[eq+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch field[:eq] {
+		case "ingested":
+			snap.EventsIngested = v
+		case "batches":
+			snap.BatchesIngested = v
+		case "queries":
+			snap.QueriesAnswered = v
+		case "qframes":
+			snap.QueryFrames = v
+		case "frames":
+			snap.FramesRead = v
+		case "lines":
+			snap.LinesRead = v
+		case "proto_errors":
+			snap.ProtocolErrors = v
+		case "conns":
+			snap.ConnsAccepted = v
+		case "rejected":
+			snap.ConnsRejected = v
+		default:
+			continue
+		}
+		ok = true
+	}
+	return snap, ok
 }
 
 // String renders the snapshot in the key=value style of the server's STATS

@@ -53,3 +53,39 @@ func TestCounterSnapshotString(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSnapshotRoundTrip(t *testing.T) {
+	want := CounterSnapshot{
+		EventsIngested: 1200, BatchesIngested: 40, QueriesAnswered: 300,
+		QueryFrames: 12, FramesRead: 52, LinesRead: 7,
+		ProtocolErrors: 1, ConnsAccepted: 3, ConnsRejected: 2,
+	}
+	got, ok := ParseSnapshot(want.String())
+	if !ok || got != want {
+		t.Fatalf("ParseSnapshot(String()) = %+v ok=%v, want %+v", got, ok, want)
+	}
+}
+
+func TestParseSnapshotStatsBody(t *testing.T) {
+	// A realistic STATS body: monitor accounting up front, rates and WAL
+	// counters after — all of which must be skipped without confusion.
+	body := "events=900 crs=40 clusters=12 held=0 storage=12345 " +
+		"ingested=900 batches=30 queries=10 qframes=5 frames=36 lines=0 " +
+		"proto_errors=0 conns=2 rejected=0 " +
+		"events_per_sec=4500.2 queries_per_sec=50.1 wal_records=30 wal_bytes=99999"
+	got, ok := ParseSnapshot(body)
+	if !ok {
+		t.Fatal("ParseSnapshot found no counters in a STATS body")
+	}
+	if got.EventsIngested != 900 || got.BatchesIngested != 30 || got.ConnsAccepted != 2 {
+		t.Fatalf("ParseSnapshot = %+v", got)
+	}
+}
+
+func TestParseSnapshotRejectsForeign(t *testing.T) {
+	for _, body := range []string{"", "hello world", "wal_records=5 storage=9"} {
+		if _, ok := ParseSnapshot(body); ok {
+			t.Fatalf("ParseSnapshot(%q) claimed ok", body)
+		}
+	}
+}

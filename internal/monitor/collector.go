@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Validation errors returned by the collector when an instrumentation stream
@@ -72,6 +74,11 @@ type Collector struct {
 	held    int
 	run     []model.Event // deliverable run being assembled (reused)
 	journal RunJournal    // optional write-ahead journal
+
+	// Optional telemetry (set by the server when instrumented): latency of
+	// the monitor delivery inside each flush, and the delivered run sizes.
+	deliverHist *obs.Histogram
+	runHist     *obs.Histogram
 
 	// sentPartner maps each delivered send to the receive it targets, until
 	// that receive is delivered. It mirrors the partial-order store's
@@ -344,7 +351,15 @@ func (c *Collector) flush() error {
 			return fmt.Errorf("monitor: journal append failed, collector closed: %w", err)
 		}
 	}
+	c.runHist.ObserveValue(int64(len(c.run)))
+	var start time.Time
+	if c.deliverHist != nil {
+		start = time.Now()
+	}
 	err := c.m.DeliverBatch(c.run)
+	if c.deliverHist != nil {
+		c.deliverHist.ObserveSince(start)
+	}
 	c.run = c.run[:0]
 	return err
 }

@@ -173,6 +173,70 @@ func (m *Monitor) Stats(fixedVector int) Stats {
 	}
 }
 
+// Accounting is the cheap subset of Stats: every field is O(1) to read (no
+// walk over the stored timestamps), so live gauges can sample it on every
+// scrape without holding the monitor lock for long.
+type Accounting struct {
+	Events          int
+	ClusterReceives int
+	MergedReceives  int
+	LiveClusters    int
+	MaxLiveCluster  int
+	Merges          int
+	MaxClusterSize  int
+}
+
+// Accounting returns the O(1) accounting snapshot.
+func (m *Monitor) Accounting() Accounting {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return Accounting{
+		Events:          m.ts.Events(),
+		ClusterReceives: m.ts.ClusterReceives(),
+		MergedReceives:  m.ts.MergedClusterReceives(),
+		LiveClusters:    m.ts.Partition().NumLive(),
+		MaxLiveCluster:  m.ts.Partition().MaxLiveSize(),
+		Merges:          m.ts.Merges(),
+		MaxClusterSize:  m.ts.MaxClusterSize(),
+	}
+}
+
+// TimestampSizeRatio returns the live value of the paper's Section 4
+// headline metric for this accounting state: the mean timestamp size
+// relative to a fixed Fidge/Mattern vector of fixedVector elements. Noted
+// cluster receives retain a full vector (fixedVector ints); every other
+// event carries a projection of MaxClusterSize ints. A Fidge/Mattern-only
+// tool scores exactly 1.0; below 1.0 the clustering is paying off.
+func (a Accounting) TimestampSizeRatio(fixedVector int) float64 {
+	if a.Events == 0 || fixedVector <= 0 {
+		return 0
+	}
+	cr := int64(a.ClusterReceives)
+	rest := int64(a.Events) - cr
+	total := cr*int64(fixedVector) + rest*int64(a.MaxClusterSize)
+	return float64(total) / (float64(a.Events) * float64(fixedVector))
+}
+
+// ClusterSizes returns the live cluster-size distribution as size -> number
+// of live clusters of that size.
+func (m *Monitor) ClusterSizes() map[int]int {
+	m.mu.RLock()
+	sizes := m.ts.Partition().LiveSizes()
+	m.mu.RUnlock()
+	out := make(map[int]int)
+	for _, s := range sizes {
+		out[s]++
+	}
+	return out
+}
+
+// QueryPathCounts exposes the precedence query-path tallies (see
+// hct.Timestamper.QueryPathCounts). The counters are atomic, so no lock is
+// taken.
+func (m *Monitor) QueryPathCounts() (direct, routed int64) {
+	return m.ts.QueryPathCounts()
+}
+
 // ErrClosed is returned by Collector.Submit after Close.
 var ErrClosed = errors.New("monitor: collector closed")
 

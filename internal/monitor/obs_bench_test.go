@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/hct"
+	"repro/internal/obs"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// BenchmarkObsOverhead measures the telemetry tax on the hot ingest path:
+// the same loopback v2/batch1024 loop as BenchmarkServerIngest, once without
+// instruments and once with the full telemetry set (histograms + op traces).
+// The acceptance budget for this repo is an "on" throughput within 3% of
+// "off".
+func BenchmarkObsOverhead(b *testing.B) {
+	spec, ok := workload.Find("pvm/ring-300")
+	if !ok {
+		b.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	const batch = 1024
+
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, err := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := ServerConfig{FixedVector: tr.NumProcs}
+				if mode == "on" {
+					// A fresh registry per iteration: instrument names are
+					// registered once per telemetry set.
+					cfg.Obs = obs.NewTelemetry(obs.NewRegistry())
+				}
+				srv := NewServer(m, cfg)
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sess, err := DialV2(addr.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+
+				for lo := 0; lo < len(tr.Events); lo += batch {
+					hi := lo + batch
+					if hi > len(tr.Events) {
+						hi = len(tr.Events)
+					}
+					if err := sess.ReportBatch(tr.Events[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+
+				b.StopTimer()
+				if held := srv.collector.Held(); held != 0 {
+					b.Fatalf("%d events held after ingestion", held)
+				}
+				sess.Close()
+				if err := srv.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(len(tr.Events))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Server exposes a Monitor over TCP, completing the Figure 1 architecture:
@@ -46,6 +47,7 @@ type Server struct {
 	collector *Collector
 	cfg       ServerConfig
 	counters  metrics.ServerCounters
+	obs       *obs.Telemetry // nil: uninstrumented
 	start     time.Time
 	submitQ   chan submitReq
 
@@ -83,6 +85,12 @@ type ServerConfig struct {
 	// appended to STATS responses. internal/wal.Log is the production
 	// implementation.
 	Journal RunJournal
+	// Obs, when non-nil, instruments the server: ingest/query/decode
+	// latency histograms, the op-trace ring, and — when Obs.Registry is
+	// set — the throughput counters and the paper's Section 4 metrics as
+	// live gauges on the registry. A Telemetry must serve at most one
+	// Server (its metric names register once).
+	Obs *obs.Telemetry
 }
 
 // Defaults for the zero ServerConfig.
@@ -128,9 +136,17 @@ func NewServer(m *Monitor, cfg ServerConfig) *Server {
 		monitor:   m,
 		collector: collector,
 		cfg:       cfg,
+		obs:       cfg.Obs,
 		start:     time.Now(),
 		submitQ:   make(chan submitReq, cfg.SubmitQueue),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	if s.obs != nil {
+		collector.deliverHist = s.obs.DeliverBatch
+		collector.runHist = s.obs.RunEvents
+		if s.obs.Registry != nil {
+			s.registerMetrics(s.obs.Registry)
+		}
 	}
 	s.ingestWG.Add(1)
 	go s.ingestLoop()
@@ -149,9 +165,24 @@ func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
 func (s *Server) ingestLoop() {
 	defer s.ingestWG.Done()
 	for req := range s.submitQ {
-		n, err := s.collector.SubmitBatch(req.events)
+		n, err := s.submitInstrumented(req.events)
 		req.reply <- submitResult{accepted: n, err: err}
 	}
+}
+
+// submitInstrumented is SubmitBatch wrapped in the ingest telemetry: the
+// end-to-end batch latency histogram and one op-trace record per batch.
+func (s *Server) submitInstrumented(events []model.Event) (int, error) {
+	o := s.obs
+	if o == nil {
+		return s.collector.SubmitBatch(events)
+	}
+	start := time.Now()
+	n, err := s.collector.SubmitBatch(events)
+	d := time.Since(start)
+	o.IngestBatch.Observe(d)
+	o.RecordOp(obs.OpIngest, len(events), start, d, err)
+	return n, err
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -283,13 +314,20 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR event syntax", false
 		}
+		var parseStart time.Time
+		if s.obs != nil {
+			parseStart = time.Now()
+		}
 		e, err := parseEventRecord(fields[1:])
+		if s.obs != nil {
+			s.obs.DecodeFrame.ObserveSince(parseStart)
+		}
 		if err != nil {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR " + err.Error(), false
 		}
 		batch := [1]model.Event{e}
-		n, err := s.collector.SubmitBatch(batch[:])
+		n, err := s.submitInstrumented(batch[:])
 		// The applied prefix counts even when a later stage (drain, journal)
 		// failed: the record is in the collector and will be delivered.
 		s.counters.EventsIngested.Add(int64(n))
@@ -308,12 +346,21 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR bad event id", false
 		}
+		var queryStart time.Time
+		if s.obs != nil {
+			queryStart = time.Now()
+		}
 		var res bool
 		var err error
 		if strings.ToUpper(fields[0]) == "PRECEDES" {
 			res, err = s.monitor.Precedes(a, b)
 		} else {
 			res, err = s.monitor.Concurrent(a, b)
+		}
+		if o := s.obs; o != nil {
+			d := time.Since(queryStart)
+			o.QueryBatch.Observe(d)
+			o.RecordOp(obs.OpQuery, 1, queryStart, d, err)
 		}
 		s.counters.QueryFrames.Add(1)
 		if err != nil {
@@ -392,7 +439,14 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 		s.counters.FramesRead.Add(1)
 		switch typ {
 		case frameEvents:
+			var decodeStart time.Time
+			if s.obs != nil {
+				decodeStart = time.Now()
+			}
 			events, err := decodeEventsPayload(payload, s.cfg.MaxBatch)
+			if s.obs != nil {
+				s.obs.DecodeFrame.ObserveSince(decodeStart)
+			}
 			if err != nil {
 				s.counters.ProtocolErrors.Add(1)
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
@@ -402,13 +456,29 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			s.submitQ <- submitReq{events: events, reply: reply} // blocks when full: backpressure
 			out <- outItem{wait: reply, n: len(events)}
 		case frameQuery:
+			var decodeStart time.Time
+			if s.obs != nil {
+				decodeStart = time.Now()
+			}
 			qs, err := decodeQueryPayload(payload, s.cfg.MaxBatch)
+			if s.obs != nil {
+				s.obs.DecodeFrame.ObserveSince(decodeStart)
+			}
 			if err != nil {
 				s.counters.ProtocolErrors.Add(1)
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
 				continue
 			}
+			var queryStart time.Time
+			if s.obs != nil {
+				queryStart = time.Now()
+			}
 			res := s.monitor.QueryBatch(qs)
+			if o := s.obs; o != nil {
+				d := time.Since(queryStart)
+				o.QueryBatch.Observe(d)
+				o.RecordOp(obs.OpQuery, len(qs), queryStart, d, nil)
+			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))
 			out <- outItem{typ: frameResults, payload: encodeResultsPayload(res)}

@@ -1,0 +1,162 @@
+package monitor
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// This file is the server's live observability surface: the gauges and
+// counter bridges registered on the obs.Registry (served at /metrics) and
+// the JSON document served at /statusz. Both read from the same sources of
+// truth as the STATS protocol verb — the atomic ServerCounters, the
+// monitor's O(1) accounting, and the journal's counters — so every plane
+// reports the same numbers.
+
+// registerMetrics exposes the server's counters and the paper's Section 4
+// metrics as live instruments on reg. Called once from NewServer when the
+// config carries an instrumented telemetry.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	c := &s.counters
+	counter := func(name, help string, v func() int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	counter("poetd_events_ingested_total", "Events accepted into the collector.", c.EventsIngested.Load)
+	counter("poetd_batches_ingested_total", "Event batches acknowledged.", c.BatchesIngested.Load)
+	counter("poetd_queries_answered_total", "Individual precedence queries answered.", c.QueriesAnswered.Load)
+	counter("poetd_query_frames_total", "QUERY frames / query lines served.", c.QueryFrames.Load)
+	counter("poetd_frames_read_total", "Protocol v2 frames decoded.", c.FramesRead.Load)
+	counter("poetd_lines_read_total", "Protocol v1 text lines handled.", c.LinesRead.Load)
+	counter("poetd_protocol_errors_total", "Malformed or rejected frames and lines.", c.ProtocolErrors.Load)
+	counter("poetd_conns_accepted_total", "Connections admitted.", c.ConnsAccepted.Load)
+	counter("poetd_conns_rejected_total", "Connections refused at the MaxConns limit.", c.ConnsRejected.Load)
+
+	reg.GaugeFunc("poetd_collector_held", "Events buffered in the collector awaiting deliverability.",
+		func() float64 { return float64(s.collector.Held()) })
+	reg.GaugeFunc("poetd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// The paper's Section 4 metrics as live instruments.
+	m := s.monitor
+	fixed := s.cfg.FixedVector
+	reg.GaugeFunc("poetd_ts_size_ratio",
+		"Mean timestamp size relative to a fixed Fidge/Mattern vector (Section 4; 1.0 = no clustering benefit).",
+		func() float64 { return m.Accounting().TimestampSizeRatio(fixed) })
+	reg.GaugeFunc("poetd_clusters_live", "Live clusters in the process partition.",
+		func() float64 { return float64(m.Accounting().LiveClusters) })
+	reg.GaugeFunc("poetd_cluster_size_max", "Size of the largest live cluster.",
+		func() float64 { return float64(m.Accounting().MaxLiveCluster) })
+	reg.GaugeFunc("poetd_cluster_size_mean", "Mean live cluster size.",
+		func() float64 {
+			a := m.Accounting()
+			if a.LiveClusters == 0 {
+				return 0
+			}
+			return float64(m.NumProcs()) / float64(a.LiveClusters)
+		})
+	reg.GaugeVecFunc("poetd_cluster_size_count", "Live clusters by size.", "size",
+		func() map[string]float64 {
+			out := make(map[string]float64)
+			for size, n := range m.ClusterSizes() {
+				out[strconv.Itoa(size)] = float64(n)
+			}
+			return out
+		})
+	counter("poetd_cluster_merges_total", "Cluster merges performed by the strategy.",
+		func() int64 { return int64(m.Accounting().Merges) })
+	counter("poetd_cluster_receives_total", "Noted (full-vector) cluster receives.",
+		func() int64 { return int64(m.Accounting().ClusterReceives) })
+	counter("poetd_merged_cluster_receives_total", "Cluster receives that triggered a merge.",
+		func() int64 { return int64(m.Accounting().MergedReceives) })
+	counter("poetd_monitor_events_total", "Events timestamped by the monitor.",
+		func() int64 { return int64(m.Accounting().Events) })
+	counter("poetd_precedes_cluster_hits_total",
+		"Precedence evaluations answered from the target's own cluster epoch (greatest-cluster-first fast path).",
+		func() int64 { direct, _ := m.QueryPathCounts(); return direct })
+	counter("poetd_precedes_cr_routed_total",
+		"Precedence evaluations routed through the noted cluster receives.",
+		func() int64 { _, routed := m.QueryPathCounts(); return routed })
+	reg.GaugeFunc("poetd_greatest_cluster_first_hit_rate",
+		"Fraction of precedence evaluations answered without consulting cluster receives.",
+		func() float64 {
+			direct, routed := m.QueryPathCounts()
+			if direct+routed == 0 {
+				return 0
+			}
+			return float64(direct) / float64(direct+routed)
+		})
+}
+
+// PaperStatus is the /statusz block that maps the paper's Section 4
+// evaluation onto the live system.
+type PaperStatus struct {
+	TimestampSizeRatio      float64     `json:"timestamp_size_ratio"`
+	FixedVector             int         `json:"fixed_vector"`
+	MaxClusterSize          int         `json:"max_cluster_size"`
+	ClustersLive            int         `json:"clusters_live"`
+	ClusterSizeMax          int         `json:"cluster_size_max"`
+	ClusterSizeCounts       map[int]int `json:"cluster_size_counts"`
+	ClusterMerges           int         `json:"cluster_merges"`
+	ClusterReceives         int         `json:"cluster_receives"`
+	MergedClusterReceives   int         `json:"merged_cluster_receives"`
+	GreatestClusterHitRate  float64     `json:"greatest_cluster_first_hit_rate"`
+	PrecedesClusterHits     int64       `json:"precedes_cluster_hits"`
+	PrecedesClusterReceives int64       `json:"precedes_cr_routed"`
+}
+
+// ServerStatus is the JSON document behind /statusz.
+type ServerStatus struct {
+	UptimeSeconds float64                        `json:"uptime_seconds"`
+	Events        int                            `json:"events"`
+	Held          int                            `json:"collector_held"`
+	Paper         PaperStatus                    `json:"paper"`
+	Counters      metrics.CounterSnapshot        `json:"counters"`
+	Rates         metrics.ThroughputRates        `json:"rates_since_start"`
+	Latency       map[string]obs.DurationSummary `json:"latency,omitempty"`
+}
+
+// Status assembles the live status document. Latency summaries are present
+// only when the server is instrumented.
+func (s *Server) Status() ServerStatus {
+	a := s.monitor.Accounting()
+	direct, routed := s.monitor.QueryPathCounts()
+	hitRate := 0.0
+	if direct+routed > 0 {
+		hitRate = float64(direct) / float64(direct+routed)
+	}
+	snap := s.counters.Snapshot()
+	st := ServerStatus{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Events:        a.Events,
+		Held:          s.collector.Held(),
+		Paper: PaperStatus{
+			TimestampSizeRatio:      a.TimestampSizeRatio(s.cfg.FixedVector),
+			FixedVector:             s.cfg.FixedVector,
+			MaxClusterSize:          a.MaxClusterSize,
+			ClustersLive:            a.LiveClusters,
+			ClusterSizeMax:          a.MaxLiveCluster,
+			ClusterSizeCounts:       s.monitor.ClusterSizes(),
+			ClusterMerges:           a.Merges,
+			ClusterReceives:         a.ClusterReceives,
+			MergedClusterReceives:   a.MergedReceives,
+			GreatestClusterHitRate:  hitRate,
+			PrecedesClusterHits:     direct,
+			PrecedesClusterReceives: routed,
+		},
+		Counters: snap,
+		Rates:    snap.Rates(time.Since(s.start)),
+	}
+	if o := s.obs; o != nil {
+		st.Latency = map[string]obs.DurationSummary{
+			"ingest_batch":  o.IngestBatch.DurationSummary(),
+			"deliver_batch": o.DeliverBatch.DurationSummary(),
+			"query_batch":   o.QueryBatch.DurationSummary(),
+			"decode_frame":  o.DecodeFrame.DurationSummary(),
+			"wal_append":    o.WALAppend.DurationSummary(),
+			"wal_fsync":     o.WALFsync.DurationSummary(),
+		}
+	}
+	return st
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Admin describes the daemon's admin HTTP surface. Any field may be left
+// zero; the corresponding endpoint then serves a sensible default (readyz
+// always ready, statusz empty object, tracez empty lists).
+type Admin struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Ready gates /readyz: 200 when it returns true, 503 otherwise.
+	Ready func() bool
+	// Status produces the JSON document served at /statusz.
+	Status func() any
+	// Ops backs /tracez.
+	Ops *TraceRing
+}
+
+// Mux returns the admin handler:
+//
+//	/metrics        Prometheus text exposition of Registry
+//	/healthz        liveness (always 200 while the process serves)
+//	/readyz         readiness per Ready
+//	/statusz        JSON from Status
+//	/tracez?n=50    JSON {total, recent, slowest} from Ops
+//	/debug/pprof/*  the standard Go profiling surface
+func (a Admin) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	if a.Registry != nil {
+		mux.Handle("/metrics", a.Registry.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.Ready != nil && !a.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var doc any = struct{}{}
+		if a.Status != nil {
+			doc = a.Status()
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		recent := a.Ops.Snapshot()
+		if len(recent) > n {
+			recent = recent[len(recent)-n:]
+		}
+		writeJSON(w, struct {
+			Total   uint64 `json:"total"`
+			Recent  []Op   `json:"recent"`
+			Slowest []Op   `json:"slowest"`
+		}{a.Ops.Total(), recent, a.Ops.Slowest(n)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func adminGet(t *testing.T, a Admin, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	a.Mux().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestAdminProbes(t *testing.T) {
+	ready := false
+	a := Admin{Ready: func() bool { return ready }}
+	if code, body := adminGet(t, a, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := adminGet(t, a, "/readyz"); code != 503 {
+		t.Fatalf("/readyz = %d before ready, want 503", code)
+	}
+	ready = true
+	if code, body := adminGet(t, a, "/readyz"); code != 200 || body != "ok\n" {
+		t.Fatalf("/readyz = %d %q after ready", code, body)
+	}
+	// Zero-value Admin: readyz defaults to ready, statusz to an empty object.
+	if code, _ := adminGet(t, Admin{}, "/readyz"); code != 200 {
+		t.Fatal("zero Admin /readyz not 200")
+	}
+	if code, body := adminGet(t, Admin{}, "/statusz"); code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Fatalf("zero Admin /statusz = %d %q", code, body)
+	}
+}
+
+func TestAdminStatusz(t *testing.T) {
+	type doc struct {
+		Events int `json:"events"`
+	}
+	a := Admin{Status: func() any { return doc{Events: 99} }}
+	code, body := adminGet(t, a, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var got doc
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.Events != 99 {
+		t.Fatalf("/statusz body %q: err=%v got=%+v", body, err, got)
+	}
+}
+
+func TestAdminTracez(t *testing.T) {
+	ring := NewTraceRing(64)
+	for i := 1; i <= 30; i++ {
+		ring.Record(Op{Kind: "ingest", Size: i, Duration: time.Duration(i) * time.Millisecond})
+	}
+	a := Admin{Ops: ring}
+	code, body := adminGet(t, a, "/tracez?n=5")
+	if code != 200 {
+		t.Fatalf("/tracez = %d", code)
+	}
+	var got struct {
+		Total   uint64 `json:"total"`
+		Recent  []Op   `json:"recent"`
+		Slowest []Op   `json:"slowest"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/tracez not JSON: %v\n%s", err, body)
+	}
+	if got.Total != 30 || len(got.Recent) != 5 || len(got.Slowest) != 5 {
+		t.Fatalf("tracez = total %d, %d recent, %d slowest; want 30/5/5",
+			got.Total, len(got.Recent), len(got.Slowest))
+	}
+	if got.Recent[4].Size != 30 {
+		t.Fatalf("recent is not the newest ops: %+v", got.Recent)
+	}
+	if got.Slowest[0].Duration != 30*time.Millisecond {
+		t.Fatalf("slowest[0] = %+v", got.Slowest[0])
+	}
+}
+
+func TestAdminMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x_total", "X.").Add(3)
+	a := Admin{Registry: reg}
+	if code, body := adminGet(t, a, "/metrics"); code != 200 || !strings.Contains(body, "x_total 3") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, _ := adminGet(t, a, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}

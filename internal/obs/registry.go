@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the gauge value. Safe on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// entry is one registered metric: its metadata and a renderer that appends
+// the sample lines (everything below # HELP/# TYPE) for the current state.
+type entry struct {
+	name, help, typ string
+	write           func(w *bufio.Writer)
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format (version 0.0.4). Registration is cheap but locked;
+// updating a registered instrument is lock-free. Metric names must be unique
+// and match [a-zA-Z_:][a-zA-Z0-9_:]* — violations panic, as they are
+// programming errors on the daemon's fixed instrument set.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	names   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(e entry) {
+	if !validName(e.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", e.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[e.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", e.name))
+	}
+	r.names[e.name] = struct{}{}
+	r.entries = append(r.entries, e)
+}
+
+// fmtVal renders a sample value the way Prometheus expects.
+func fmtVal(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, fmtVal(float64(c.Value())))
+	}})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, fmtVal(g.Value()))
+	}})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time. It is the bridge to counters that already live elsewhere (e.g. the
+// server's atomic ServerCounters): the existing counter stays the single
+// source of truth and the registry only exposes it.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, fmtVal(fn()))
+	}})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+		fmt.Fprintf(w, "%s %s\n", name, fmtVal(fn()))
+	}})
+}
+
+// GaugeVecFunc registers a family of gauges distinguished by one label,
+// produced by fn at render time. Samples are rendered in sorted label-value
+// order so scrapes are deterministic.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	if !validName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+		vals := fn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, k, fmtVal(vals[k]))
+		}
+	}})
+}
+
+// NewHistogram registers and returns a latency histogram; bucket bounds are
+// rendered in seconds (2^i nanoseconds), per the Prometheus convention that
+// duration metrics are in seconds. By convention name should end in
+// "_seconds".
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	return r.registerHistogram(name, help, 1e-9)
+}
+
+// NewSizeHistogram registers and returns a magnitude histogram (batch sizes,
+// byte counts); bucket bounds are rendered as raw powers of two.
+func (r *Registry) NewSizeHistogram(name, help string) *Histogram {
+	return r.registerHistogram(name, help, 1)
+}
+
+func (r *Registry) registerHistogram(name, help string, scale float64) *Histogram {
+	h := &Histogram{name: name, help: help, scale: scale}
+	r.register(entry{name: name, help: help, typ: "histogram", write: func(w *bufio.Writer) {
+		s := h.Snapshot()
+		var cum uint64
+		for i := 0; i <= histBuckets; i++ {
+			cum += s.Buckets[i]
+			le := "+Inf"
+			if i < histBuckets {
+				le = fmtVal(s.UpperBound(i) * scale)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name, fmtVal(float64(s.Sum)*scale))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	}})
+	return h
+}
+
+// WritePrometheus renders every registered metric in name order: a # HELP
+// and # TYPE line followed by the metric's samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	bw := bufio.NewWriterSize(w, 16*1024)
+	for _, e := range entries {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.typ)
+		e.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler returns the /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTestRegistry assembles one registry exercising every instrument kind.
+func buildTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	c := reg.NewCounter("test_ops_total", "Operations performed.")
+	c.Add(41)
+	c.Inc()
+	g := reg.NewGauge("test_depth", "Current queue depth.")
+	g.Set(3.5)
+	reg.CounterFunc("test_bridged_total", "Bridged external counter.", func() float64 { return 7 })
+	reg.GaugeFunc("test_ratio", "A live ratio.", func() float64 { return 0.25 })
+	reg.GaugeVecFunc("test_sizes", "Things by size.", "size", func() map[string]float64 {
+		return map[string]float64{"1": 2, "3": 1, "10": 4}
+	})
+	h := reg.NewHistogram("test_latency_seconds", "Op latency.")
+	for _, d := range []time.Duration{time.Microsecond, 50 * time.Microsecond, time.Millisecond, 20 * time.Millisecond} {
+		h.Observe(d)
+	}
+	sh := reg.NewSizeHistogram("test_batch_events", "Events per batch.")
+	sh.ObserveValue(64)
+	sh.ObserveValue(1024)
+	return reg
+}
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? (\+Inf|-Inf|[0-9eE+.-]+)$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// TestWritePrometheusParses is the golden-format test: every line of the
+// rendered exposition must be a well-formed 0.0.4 comment or sample, every
+// sample must belong to an announced metric, and announcements must come as
+// HELP-then-TYPE pairs.
+func TestWritePrometheusParses(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry(t).WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	announced := map[string]string{} // metric name -> type
+	var lastHelp string
+	var names []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			lastHelp = m[1]
+			names = append(names, m[1])
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if m[1] != lastHelp {
+				t.Fatalf("TYPE %q does not follow its HELP (last HELP %q)", m[1], lastHelp)
+			}
+			announced[m[1]] = m[2]
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			base := m[1]
+			if announced[base] == "" {
+				// Histogram series carry suffixes on the announced name.
+				base = strings.TrimSuffix(base, "_bucket")
+				base = strings.TrimSuffix(base, "_sum")
+				base = strings.TrimSuffix(base, "_count")
+			}
+			if announced[base] == "" {
+				t.Fatalf("sample %q has no preceding HELP/TYPE", line)
+			}
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("metrics not rendered in name order: %v", names)
+	}
+
+	for _, want := range []string{
+		"test_ops_total 42\n",
+		"test_depth 3.5\n",
+		"test_bridged_total 7\n",
+		"test_ratio 0.25\n",
+		`test_sizes{size="1"} 2` + "\n",
+		"test_latency_seconds_count 4\n",
+		"test_batch_events_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// GaugeVec samples come in sorted label order.
+	if strings.Index(out, `test_sizes{size="1"}`) > strings.Index(out, `test_sizes{size="3"}`) {
+		t.Error("gauge vector not in sorted label order")
+	}
+}
+
+// TestHistogramExposition checks the rendered histogram against the format's
+// invariants: cumulative buckets are non-decreasing, the +Inf bucket equals
+// _count, and le bounds parse and increase.
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat_seconds", "Latency.")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	bucketRe := regexp.MustCompile(`^lat_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	var prevCum uint64
+	var prevLe float64
+	var infCum, count uint64
+	buckets := 0
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if m := bucketRe.FindStringSubmatch(line); m != nil {
+			buckets++
+			cum, err := strconv.ParseUint(m[2], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count in %q", line)
+			}
+			if cum < prevCum {
+				t.Fatalf("cumulative bucket decreased at %q", line)
+			}
+			prevCum = cum
+			if m[1] == "+Inf" {
+				infCum = cum
+				continue
+			}
+			le, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				t.Fatalf("unparseable le bound in %q", line)
+			}
+			if le <= prevLe && buckets > 1 {
+				t.Fatalf("le bounds not increasing at %q", line)
+			}
+			prevLe = le
+		} else if rest, found := strings.CutPrefix(line, "lat_seconds_count "); found {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q", line)
+			}
+			count = v
+		}
+	}
+	if buckets != histBuckets+1 {
+		t.Fatalf("rendered %d buckets, want %d", buckets, histBuckets+1)
+	}
+	if count != 100 || infCum != count {
+		t.Fatalf("count=%d +Inf cumulative=%d, want both 100", count, infCum)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("fine_total", "ok")
+	for _, bad := range []string{"", "0starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("registering %q did not panic", bad)
+				}
+			}()
+			reg.NewCounter(bad, "bad")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate registration did not panic")
+			}
+		}()
+		reg.NewGauge("fine_total", "dup")
+	}()
+}
+
+func TestRegistryHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	buildTestRegistry(t).Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q is not the text exposition format", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_ops_total 42") {
+		t.Fatal("handler body missing counter sample")
+	}
+}

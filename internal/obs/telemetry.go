@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Op kinds recorded by the monitor plane.
+const (
+	OpIngest      = "ingest"       // one event batch through Collector.SubmitBatch
+	OpQuery       = "query"        // one query batch through Monitor.QueryBatch
+	OpWALSnapshot = "wal_snapshot" // one WAL compaction
+)
+
+// DefaultTraceCap is the default TraceRing capacity: enough to answer "the
+// slowest 50 batches" with plenty of recency behind it.
+const DefaultTraceCap = 512
+
+// Telemetry bundles the monitor plane's instruments: one latency histogram
+// per hot path, a size histogram for delivered runs, and the op-trace ring.
+// A single Telemetry serves at most one Server (instrument names are
+// registered once). All fields are safe to use when nil — a nil *Telemetry
+// disables instrumentation without branching at call sites that only touch
+// histograms, and Server/wal code guards the few spots that also take
+// timestamps.
+type Telemetry struct {
+	Registry *Registry
+
+	IngestBatch  *Histogram // SubmitBatch end to end (validate, drain, journal, deliver)
+	DeliverBatch *Histogram // Monitor.DeliverBatch within a collector flush
+	QueryBatch   *Histogram // Monitor.QueryBatch / one v1 query line
+	DecodeFrame  *Histogram // v2 payload decode / v1 EVENT line parse
+	WALAppend    *Histogram // wal.Log.Append end to end
+	WALFsync     *Histogram // the fsync syscall inside a group commit
+	WALSnapshot  *Histogram // one snapshot compaction
+	RunEvents    *Histogram // events per delivered run (size histogram)
+
+	Ops *TraceRing
+
+	// SlowOp, when positive, logs any recorded op at least this slow to
+	// Logger at Warn level.
+	SlowOp time.Duration
+	Logger *slog.Logger
+}
+
+// NewTelemetry creates the monitor plane's instrument set on reg, using the
+// daemon's canonical metric names.
+func NewTelemetry(reg *Registry) *Telemetry {
+	return &Telemetry{
+		Registry:     reg,
+		IngestBatch:  reg.NewHistogram("poetd_ingest_batch_seconds", "Latency of one event batch through the collector (validate, drain, journal, deliver)."),
+		DeliverBatch: reg.NewHistogram("poetd_deliver_batch_seconds", "Latency of Monitor.DeliverBatch for one delivered run."),
+		QueryBatch:   reg.NewHistogram("poetd_query_batch_seconds", "Latency of one precedence query batch."),
+		DecodeFrame:  reg.NewHistogram("poetd_decode_frame_seconds", "Latency of decoding one v2 frame payload or parsing one v1 EVENT line."),
+		WALAppend:    reg.NewHistogram("poetd_wal_append_seconds", "Latency of one write-ahead log append (to the configured fsync policy)."),
+		WALFsync:     reg.NewHistogram("poetd_wal_fsync_seconds", "Latency of one WAL fsync syscall."),
+		WALSnapshot:  reg.NewHistogram("poetd_wal_snapshot_seconds", "Latency of one WAL snapshot compaction."),
+		RunEvents:    reg.NewSizeHistogram("poetd_run_events", "Events per run delivered to the monitor."),
+		Ops:          NewTraceRing(DefaultTraceCap),
+	}
+}
+
+// RecordOp traces one finished operation and, when it exceeds the SlowOp
+// threshold, logs it at Warn. Safe on a nil receiver.
+func (t *Telemetry) RecordOp(kind string, size int, start time.Time, d time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	t.Ops.Record(Op{Kind: kind, Size: size, Start: start, Duration: d, Err: msg})
+	if t.SlowOp > 0 && d >= t.SlowOp && t.Logger != nil {
+		t.Logger.Warn("slow op", "kind", kind, "size", size, "duration", d, "err", msg)
+	}
+}

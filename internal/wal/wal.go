@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // SyncPolicy selects when appended records reach the disk.
@@ -92,6 +93,13 @@ type Options struct {
 	// Counters, when non-nil, receives the log's durability accounting
 	// (appends, fsyncs, snapshots, recovery results).
 	Counters *metrics.WALCounters
+	// AppendTimer, FsyncTimer and SnapshotTimer, when non-nil, observe the
+	// latency of each append (to the configured durability), each fsync
+	// syscall, and each snapshot compaction. obs.Telemetry supplies the
+	// production set.
+	AppendTimer   *obs.Histogram
+	FsyncTimer    *obs.Histogram
+	SnapshotTimer *obs.Histogram
 }
 
 func (o Options) withDefaults() Options {
@@ -349,6 +357,26 @@ func (l *Log) Dir() string { return l.dir }
 // Counters exposes the log's durability counters.
 func (l *Log) Counters() *metrics.WALCounters { return l.counters }
 
+// RegisterMetrics bridges the log's durability counters onto an exposition
+// registry. The atomic WALCounters remain the single source of truth; the
+// registry reads them at scrape time.
+func (l *Log) RegisterMetrics(reg *obs.Registry) {
+	c := l.counters
+	counter := func(name, help string, v func() int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v()) })
+	}
+	counter("poetd_wal_records_total", "CRC-framed run records appended.", c.RecordsAppended.Load)
+	counter("poetd_wal_events_total", "Events inside appended records.", c.EventsAppended.Load)
+	counter("poetd_wal_bytes_total", "Bytes appended (framing plus payload).", c.BytesAppended.Load)
+	counter("poetd_wal_fsyncs_total", "Explicit fsync calls issued.", c.Fsyncs.Load)
+	counter("poetd_wal_snapshots_total", "Snapshot compactions sealed.", c.Snapshots.Load)
+	counter("poetd_wal_torn_records_total", "Torn or corrupt tail records truncated at open.", c.TornRecords.Load)
+	reg.GaugeFunc("poetd_wal_recovered_events", "Events replayed at the last open.",
+		func() float64 { return float64(c.EventsRecovered.Load()) })
+	reg.GaugeFunc("poetd_wal_recovered_records", "Records replayed at the last open.",
+		func() float64 { return float64(c.RecordsRecovered.Load()) })
+}
+
 // Stats renders the durability counters for the server's STATS surface
 // (together with AppendRun this implements monitor.RunJournal).
 func (l *Log) Stats() string { return l.counters.Snapshot().String() }
@@ -493,6 +521,9 @@ func (l *Log) Append(events []model.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
+	if t := l.opts.AppendTimer; t != nil {
+		defer func(start time.Time) { t.ObserveSince(start) }(time.Now())
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -571,9 +602,14 @@ func (l *Log) syncLocked() error {
 	if l.dirtyBytes == 0 {
 		return nil
 	}
+	var start time.Time
+	if l.opts.FsyncTimer != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.opts.FsyncTimer.ObserveSince(start)
 	l.dirtyBytes = 0
 	l.lastSync = time.Now()
 	l.counters.Fsyncs.Add(1)
@@ -624,6 +660,9 @@ func (l *Log) Compact() error {
 
 // compact does the work; l.compacting is true and will be cleared here.
 func (l *Log) compact() error {
+	if t := l.opts.SnapshotTimer; t != nil {
+		defer func(start time.Time) { t.ObserveSince(start) }(time.Now())
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.compacting = false
