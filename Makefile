@@ -25,6 +25,9 @@ bench-json:
 	go test ./internal/experiment/ ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest|BenchmarkObsOverhead' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
+	go test ./internal/monitor/ -run '^$$' \
+		-bench 'BenchmarkQueryParallel|BenchmarkIngestColumnar' \
+		-benchtime=100x -benchmem | go run ./cmd/benchjson > BENCH_query.json
 
 # Re-run the paper's full Section 4 evaluation.
 experiments:

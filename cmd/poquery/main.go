@@ -31,8 +31,8 @@ import (
 	"time"
 
 	"repro/internal/fm"
-	"repro/internal/metrics"
 	"repro/internal/hct"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/poset"

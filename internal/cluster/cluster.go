@@ -342,11 +342,17 @@ func (p *Partition) Validate() error {
 // LiveSizes returns the sizes of the live clusters, in no particular order.
 // The telemetry plane renders these as the live cluster-size distribution.
 func (p *Partition) LiveSizes() []int {
-	out := make([]int, 0, len(p.live))
+	return p.LiveSizesInto(make([]int, 0, len(p.live)))
+}
+
+// LiveSizesInto appends the live cluster sizes to buf and returns it,
+// letting periodic scrape paths reuse one buffer instead of allocating a
+// fresh slice per call.
+func (p *Partition) LiveSizesInto(buf []int) []int {
 	for _, inf := range p.live {
-		out = append(out, inf.Size())
+		buf = append(buf, inf.Size())
 	}
-	return out
+	return buf
 }
 
 // MaxLiveSize returns the size of the largest live cluster.

@@ -3,7 +3,6 @@ package hct
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/cluster"
@@ -35,7 +34,7 @@ var (
 
 // crNote records a noted (non-merged) cluster receive of one process: the
 // paper's "greatest cluster receive within this process at this point".
-// Notes are appended in event-index order, so the slice is sorted.
+// Notes are appended in event-index order, so the column is sorted.
 type crNote struct {
 	index int32
 	clock vclock.Clock
@@ -51,22 +50,33 @@ type crNote struct {
 // retained only for noted cluster receives — the algorithm "deletes
 // Fidge/Mattern timestamps that are no longer needed".
 //
-// Timestamper is not safe for concurrent use.
+// Timestamps live in dense per-process columns indexed by event index, with
+// projection vectors carved from a shared arena (see store.go); a lookup is
+// two array indexes and the steady-state ingest path does not allocate.
+//
+// Concurrency: a single writer (Observe/Ingest/ObserveAll, externally
+// serialized) may run concurrently with any number of readers — Timestamp,
+// Precedes, Concurrent, their *At variants and CaptureWatermark take no
+// lock and read only the prefix of the store published by the per-process
+// watermarks. Accounting readers (Events, ClusterReceives, StorageInts, the
+// partition) are NOT synchronized with the writer and still require
+// external serialization against it.
 type Timestamper struct {
 	numProcs int
 	cfg      Config
 	fmts     *fm.Timestamper
 	part     *cluster.Partition
 
-	stamps map[model.EventID]*Timestamp
-	crs    [][]crNote // per process, sorted by event index
+	cols []tsColumn // per process, slot Index-1
+	crs  []crColumn // per process, sorted by event index
+	ar   arena      // backing store for projection vectors
 
 	events    int
 	crEvents  int
 	mergedCRs int
 
-	// Query-path accounting. Precedence queries run concurrently under the
-	// monitor's read lock, so these are atomic: qDirect counts queries
+	// Query-path accounting. Precedence queries run concurrently with each
+	// other and with ingest, so these are atomic: qDirect counts queries
 	// answered from the target timestamp's own cluster epoch (the
 	// greatest-cluster-first fast path), qRouted counts queries that had to
 	// route through the noted cluster receives.
@@ -97,8 +107,8 @@ func NewTimestamper(numProcs int, cfg Config) (*Timestamper, error) {
 		cfg:      cfg,
 		fmts:     fm.NewTimestamper(numProcs),
 		part:     part,
-		stamps:   make(map[model.EventID]*Timestamp),
-		crs:      make([][]crNote, numProcs),
+		cols:     make([]tsColumn, numProcs),
+		crs:      make([]crColumn, numProcs),
 	}, nil
 }
 
@@ -136,7 +146,9 @@ func (ts *Timestamper) QueryPathCounts() (direct, routed int64) {
 
 // Observe ingests the next event in delivery order and returns the
 // timestamps finalized by it (two for the completion of a synchronous pair,
-// zero for its first half, one otherwise).
+// zero for its first half, one otherwise). The returned pointers stay valid
+// and immutable for the life of the timestamper. Ingest is the variant for
+// callers that discard the results.
 func (ts *Timestamper) Observe(e model.Event) ([]*Timestamp, error) {
 	// The borrowed observe path hands out the live Fidge/Mattern frontier
 	// without defensive copies; assign projects or clones as needed before
@@ -152,12 +164,27 @@ func (ts *Timestamper) Observe(e model.Event) ([]*Timestamp, error) {
 	return out, nil
 }
 
+// Ingest is Observe without materializing the result slice: the batched
+// network ingest path, where that per-event allocation would dominate the
+// profile now that stamping itself is allocation-free in the steady state.
+func (ts *Timestamper) Ingest(e model.Event) error {
+	stamped, err := ts.fmts.ObserveBorrowed(e)
+	if err != nil {
+		return err
+	}
+	for _, st := range stamped {
+		ts.assign(st.Event, st.Clock)
+	}
+	return nil
+}
+
 // assign converts a finalized Fidge/Mattern timestamp into a cluster
-// timestamp, performing the cluster-receive handling of Section 2.3.
+// timestamp, performing the cluster-receive handling of Section 2.3, and
+// publishes it to the lock-free read plane.
 func (ts *Timestamper) assign(e model.Event, clk vclock.Clock) *Timestamp {
 	ts.events++
 	p := int32(e.ID.Process)
-	t := &Timestamp{ID: e.ID, Kind: e.Kind, Partner: e.Partner}
+	t := Timestamp{ID: e.ID, Kind: e.Kind, Partner: e.Partner}
 
 	own := ts.part.ClusterOf(p)
 	isCR := e.Kind.IsReceive() && !own.Contains(int32(e.Partner.Process))
@@ -178,46 +205,72 @@ func (ts *Timestamper) assign(e model.Event, clk vclock.Clock) *Timestamp {
 
 	if isCR {
 		t.Full = clk.Clone() // clk is borrowed from fm; copy to retain
-		ts.crs[p] = append(ts.crs[p], crNote{index: int32(e.ID.Index), clock: t.Full})
+		ts.crs[p].append(crNote{index: int32(e.ID.Index), clock: t.Full})
+		ts.crs[p].publish() // before the cell: see store.go
 		ts.crEvents++
 	} else {
 		t.Cluster = own
-		t.Proj = clk.Project(own.Members)
+		t.Proj = clk.ProjectInto(ts.ar.carve(len(own.Members)), own.Members)
 	}
-	ts.stamps[e.ID] = t
-	return t
+	out := ts.cols[p].append(t)
+	ts.cols[p].publish()
+	return out
 }
 
 // ObserveAll stamps an entire trace.
 func (ts *Timestamper) ObserveAll(tr *model.Trace) error {
 	for _, e := range tr.Events {
-		if _, err := ts.Observe(e); err != nil {
+		if err := ts.Ingest(e); err != nil {
 			return fmt.Errorf("hct: at event %v: %w", e.ID, err)
 		}
 	}
 	return ts.fmts.Flush()
 }
 
-// Timestamp returns the stored timestamp of an event.
+// Timestamp returns the stored timestamp of an event. Safe to call
+// concurrently with ingestion.
 func (ts *Timestamper) Timestamp(id model.EventID) (*Timestamp, bool) {
-	t, ok := ts.stamps[id]
-	return t, ok
+	t := ts.lookup(id, nil)
+	return t, t != nil
 }
 
-// latestCRAtOrBelow returns the greatest noted cluster receive of process p
-// with event index <= bound, or nil.
-func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
-	notes := ts.crs[p]
-	// First note with index > bound.
-	i := sort.Search(len(notes), func(k int) bool { return notes[k].index > bound })
-	if i == 0 {
+// lookup resolves id against the published store: below the live
+// watermarks when w is nil, below the captured cut otherwise.
+func (ts *Timestamper) lookup(id model.EventID, w Watermark) *Timestamp {
+	p := int(id.Process)
+	if p < 0 || p >= ts.numProcs {
 		return nil
 	}
-	return &notes[i-1]
+	if w != nil {
+		return ts.cols[p].getAt(id.Index, w[p])
+	}
+	return ts.cols[p].get(id.Index)
+}
+
+// latestCRAtOrBelow returns the greatest published noted cluster receive of
+// process p with event index <= bound, or nil.
+func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
+	notes := ts.crs[p].published()
+	// Binary search for the first note with index > bound.
+	lo, hi := 0, len(notes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if notes[mid].index <= bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return &notes[lo-1]
 }
 
 // Precedes reports whether event e happened before event f, using only
-// cluster timestamps and the per-process cluster-receive notes.
+// cluster timestamps and the per-process cluster-receive notes. It takes no
+// lock and is safe to call concurrently with ingestion: only the published
+// prefix of the store is consulted.
 //
 // The test needs just FM(e)[pe] — which is e's own event index — and
 // FM(f)[pe]. If f holds a full vector, or pe lies inside f's cluster epoch,
@@ -227,15 +280,26 @@ func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
 // noted cluster receive g of q with g's index <= FM(f)[q]: e precedes f iff
 // some such g knows at least e.Index events of pe.
 func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
+	return ts.precedesAt(e, f, nil)
+}
+
+// PrecedesAt is Precedes evaluated against a captured watermark: events at
+// or above the cut are reported unknown even if published since, so every
+// query of a batch answered under one watermark sees one store state.
+func (ts *Timestamper) PrecedesAt(e, f model.EventID, w Watermark) (bool, error) {
+	return ts.precedesAt(e, f, w)
+}
+
+func (ts *Timestamper) precedesAt(e, f model.EventID, w Watermark) (bool, error) {
 	if e == f {
 		return false, nil
 	}
-	te, ok := ts.stamps[e]
-	if !ok {
+	te := ts.lookup(e, w)
+	if te == nil {
 		return false, fmt.Errorf("%w: %v", ErrUnknownEvent, e)
 	}
-	tf, ok := ts.stamps[f]
-	if !ok {
+	tf := ts.lookup(f, w)
+	if tf == nil {
 		return false, fmt.Errorf("%w: %v", ErrUnknownEvent, f)
 	}
 	// The two halves of a synchronous pair carry identical vectors but
@@ -251,6 +315,9 @@ func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
 	}
 
 	// pe outside f's cluster epoch: route through noted cluster receives.
+	// Every note this can touch has index <= FM(f)[q] for a member q, and
+	// is therefore published whenever tf is visible (see store.go), so the
+	// watermark does not bound this search.
 	ts.qRouted.Add(1)
 	c := tf.Cluster
 	for k, q := range c.Members {
@@ -262,19 +329,29 @@ func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
 	return false, nil
 }
 
-// Concurrent reports whether neither event precedes the other.
+// Concurrent reports whether neither event precedes the other. Like
+// Precedes it takes no lock.
 func (ts *Timestamper) Concurrent(e, f model.EventID) (bool, error) {
+	return ts.concurrentAt(e, f, nil)
+}
+
+// ConcurrentAt is Concurrent evaluated against a captured watermark.
+func (ts *Timestamper) ConcurrentAt(e, f model.EventID, w Watermark) (bool, error) {
+	return ts.concurrentAt(e, f, w)
+}
+
+func (ts *Timestamper) concurrentAt(e, f model.EventID, w Watermark) (bool, error) {
 	if e == f {
 		return false, nil
 	}
-	ef, err := ts.Precedes(e, f)
+	ef, err := ts.precedesAt(e, f, w)
 	if err != nil {
 		return false, err
 	}
 	if ef {
 		return false, nil
 	}
-	fe, err := ts.Precedes(f, e)
+	fe, err := ts.precedesAt(f, e, w)
 	if err != nil {
 		return false, err
 	}
@@ -283,11 +360,12 @@ func (ts *Timestamper) Concurrent(e, f model.EventID) (bool, error) {
 
 // StorageInts returns the total vector elements occupied by all stored
 // timestamps under the fixed-size-vector encoding (see
-// Timestamp.StorageInts).
+// Timestamp.StorageInts). Every stored timestamp is either a noted cluster
+// receive (fixedVector ints) or a projection (maxCS ints), so the total
+// follows in O(1) from the event and cluster-receive counts — no walk over
+// the store.
 func (ts *Timestamper) StorageInts(fixedVector int) int64 {
-	var total int64
-	for _, t := range ts.stamps {
-		total += int64(t.StorageInts(fixedVector, ts.cfg.MaxClusterSize))
-	}
-	return total
+	cr := int64(ts.crEvents)
+	rest := int64(ts.events) - cr
+	return cr*int64(fixedVector) + rest*int64(ts.cfg.MaxClusterSize)
 }

@@ -1,0 +1,235 @@
+package monitor
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// TestLockFreeQueryDuringIngest is the soundness battery for the lock-free
+// read plane, meant to run under -race: one goroutine ingests the second
+// half of a corpus trace batch by batch while several query goroutines
+// hammer the monitor without pause. Every answered query must agree with
+// the Fidge/Mattern oracle, queries against not-yet-published events must
+// fail with exactly ErrUnknownEvent, and ingest must run to completion
+// while the query load never lets up — queries no longer block DeliverBatch
+// and vice versa.
+func TestLockFreeQueryDuringIngest(t *testing.T) {
+	spec, ok := workload.Find("pvm/ring-300")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		clock[st.Event.ID] = st.Clock
+	}
+
+	m, err := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(tr.Events) / 2
+	if err := m.DeliverBatch(tr.Events[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	const queriers = 4
+	var (
+		answered atomic.Int64
+		unknown  atomic.Int64
+		done     = make(chan struct{})
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		failure  string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if failure == "" {
+			failure = msg
+		}
+		failMu.Unlock()
+	}
+	failed := func() bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failure != ""
+	}
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(0xF00D + int64(g)))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Mix settled events (always answerable) with events from
+				// the half being ingested (answerable only once published).
+				e := tr.Events[r.Intn(len(tr.Events))].ID
+				f := tr.Events[r.Intn(half)].ID
+				got, err := m.Precedes(e, f)
+				if err != nil {
+					if !errors.Is(err, hct.ErrUnknownEvent) {
+						fail("Precedes(" + e.String() + "," + f.String() + "): " + err.Error())
+						return
+					}
+					unknown.Add(1)
+					continue
+				}
+				if want := fm.Precedes(e, clock[e], f, clock[f]); got != want {
+					fail("Precedes(" + e.String() + "," + f.String() + ") raced to a wrong answer")
+					return
+				}
+				answered.Add(1)
+			}
+		}(g)
+	}
+
+	// Sustained ingest of the second half, in small batches so the writer
+	// publishes continuously while the queriers run. Between batches the
+	// writer waits for the query plane to advance, guaranteeing genuine
+	// interleaving of deliveries and queries rather than one racing past
+	// the other.
+	prev := answered.Load()
+	for lo := half; lo < len(tr.Events); lo += 512 {
+		hi := lo + 512
+		if hi > len(tr.Events) {
+			hi = len(tr.Events)
+		}
+		if err := m.DeliverBatch(tr.Events[lo:hi]); err != nil {
+			t.Fatalf("DeliverBatch[%d:%d] under query load: %v", lo, hi, err)
+		}
+		for answered.Load() == prev && !failed() {
+			runtime.Gosched()
+		}
+		prev = answered.Load()
+	}
+	close(done)
+	wg.Wait()
+
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no queries answered during ingest")
+	}
+	if st := m.Stats(300); st.Events != len(tr.Events) {
+		t.Fatalf("ingest did not complete under query load: %d of %d events", st.Events, len(tr.Events))
+	}
+	t.Logf("answered %d queries (%d unknown-yet) concurrently with ingest of %d events",
+		answered.Load(), unknown.Load(), len(tr.Events)-half)
+}
+
+// TestQueryBatchSingleWatermark pins the batch-consistency fix: a QueryBatch
+// large enough to shard across goroutines must answer every query against
+// the one watermark captured at entry. The batch carries each query twice,
+// half a batch apart so the duplicates land in different shards; under the
+// old per-shard RLock scheme a concurrent delivery between shard
+// acquisitions could give the twins different answers.
+func TestQueryBatchSingleWatermark(t *testing.T) {
+	spec, ok := workload.Find("pvm/treereduce-127")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	m, err := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := len(tr.Events) / 4
+	if err := m.DeliverBatch(tr.Events[:quarter]); err != nil {
+		t.Fatal(err)
+	}
+
+	ingestDone := make(chan error, 1)
+	go func() {
+		for lo := quarter; lo < len(tr.Events); lo += 64 {
+			hi := lo + 64
+			if hi > len(tr.Events) {
+				hi = len(tr.Events)
+			}
+			if err := m.DeliverBatch(tr.Events[lo:hi]); err != nil {
+				ingestDone <- err
+				return
+			}
+		}
+		ingestDone <- nil
+	}()
+
+	r := rand.New(rand.NewSource(99))
+	const pairs = 2 * queryBatchParallelMin // twice the sharding threshold
+	for round := 0; round < 50; round++ {
+		qs := make([]Query, 2*pairs)
+		for i := 0; i < pairs; i++ {
+			q := Query{
+				Op: OpPrecedes,
+				A:  tr.Events[r.Intn(len(tr.Events))].ID,
+				B:  tr.Events[r.Intn(len(tr.Events))].ID,
+			}
+			if i%3 == 0 {
+				q.Op = OpConcurrent
+			}
+			qs[i] = q
+			qs[i+pairs] = q // twin lands len/2 away, in another shard
+		}
+		res := m.QueryBatch(qs)
+		for i := 0; i < pairs; i++ {
+			a, b := res[i], res[i+pairs]
+			if a.True != b.True || (a.Err == nil) != (b.Err == nil) {
+				t.Fatalf("round %d: duplicate query %+v answered (%v,%v) and (%v,%v): batch straddled store states",
+					round, qs[i], a.True, a.Err, b.True, b.Err)
+			}
+		}
+	}
+	if err := <-ingestDone; err != nil {
+		t.Fatalf("concurrent ingest: %v", err)
+	}
+}
+
+// TestClusterSizesIntoAllocFree pins the scrape-path guarantee: once warm,
+// refreshing the cluster-size distribution allocates nothing.
+func TestClusterSizesIntoAllocFree(t *testing.T) {
+	spec, ok := workload.Find("pvm/treereduce-43")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	m, err := New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeliverAll(tr); err != nil {
+		t.Fatal(err)
+	}
+	want := m.ClusterSizes()
+	out := make(map[int]int)
+	m.ClusterSizesInto(out) // warm the internal buffer and the map
+	if allocs := testing.AllocsPerRun(100, func() { m.ClusterSizesInto(out) }); allocs != 0 {
+		t.Fatalf("ClusterSizesInto allocates %v per scrape, want 0", allocs)
+	}
+	if len(out) != len(want) {
+		t.Fatalf("ClusterSizesInto = %v, ClusterSizes = %v", out, want)
+	}
+	for size, n := range want {
+		if out[size] != n {
+			t.Fatalf("ClusterSizesInto = %v, ClusterSizes = %v", out, want)
+		}
+	}
+}

@@ -18,12 +18,27 @@ import (
 
 // Monitor is the monitoring entity. Deliver ingests events in a valid
 // delivery order (a linear extension of the computation); Collector relaxes
-// that requirement for concurrent producers. Queries are safe to run
-// concurrently with each other but are serialized against ingestion.
+// that requirement for concurrent producers.
+//
+// Precedence queries (Precedes, Concurrent, Timestamp, QueryBatch) take no
+// lock at all: the timestamper publishes per-process watermarks after each
+// delivered event, and queries read only the immutable store prefix below
+// them (see internal/hct/store.go for the protocol). Queries therefore
+// never stall ingestion and scale across cores. Surfaces that read the
+// partial-order store or the partition (Lookup, Stats, the compound queries
+// in queries.go) still serialize against ingestion through mu.
 type Monitor struct {
 	mu    sync.RWMutex
 	store *poset.Store
 	ts    *hct.Timestamper
+
+	// wmPool recycles watermark buffers across QueryBatch calls.
+	wmPool sync.Pool
+
+	// sizesMu guards sizesBuf, the reused snapshot buffer behind the
+	// cluster-size distribution scrape.
+	sizesMu  sync.Mutex
+	sizesBuf []int
 }
 
 // New returns a monitor over numProcs processes with the given
@@ -49,10 +64,7 @@ func (m *Monitor) Deliver(e model.Event) error {
 	if _, err := m.store.Append(e); err != nil {
 		return err
 	}
-	if _, err := m.ts.Observe(e); err != nil {
-		return err
-	}
-	return nil
+	return m.ts.Ingest(e)
 }
 
 // DeliverBatch ingests a run of events in delivery order under a single
@@ -71,7 +83,7 @@ func (m *Monitor) DeliverBatch(events []model.Event) error {
 		if _, err := m.store.Append(e); err != nil {
 			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
 		}
-		if _, err := m.ts.Observe(e); err != nil {
+		if err := m.ts.Ingest(e); err != nil {
 			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
 		}
 	}
@@ -114,24 +126,21 @@ func (m *Monitor) pendingSendTargets() map[model.EventID]model.EventID {
 }
 
 // Precedes answers a happened-before query from the stored cluster
-// timestamps.
+// timestamps. It takes no lock and never blocks (or is blocked by)
+// ingestion.
 func (m *Monitor) Precedes(e, f model.EventID) (bool, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.ts.Precedes(e, f)
 }
 
-// Concurrent reports whether two events are concurrent.
+// Concurrent reports whether two events are concurrent. Lock-free, like
+// Precedes.
 func (m *Monitor) Concurrent(e, f model.EventID) (bool, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.ts.Concurrent(e, f)
 }
 
-// Timestamp returns the stored timestamp of an event.
+// Timestamp returns the stored timestamp of an event. Lock-free; the
+// returned timestamp is immutable.
 func (m *Monitor) Timestamp(id model.EventID) (*hct.Timestamp, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.ts.Timestamp(id)
 }
 
@@ -158,7 +167,10 @@ type Stats struct {
 	PendingSends    int
 }
 
-// Stats returns a snapshot of the monitor's accounting.
+// Stats returns a snapshot of the monitor's accounting. Every field —
+// including StorageInts, which earlier revisions computed by walking the
+// whole timestamp store — is O(1) to read, so the lock hold is constant
+// regardless of store size.
 func (m *Monitor) Stats(fixedVector int) Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -220,14 +232,26 @@ func (a Accounting) TimestampSizeRatio(fixedVector int) float64 {
 // ClusterSizes returns the live cluster-size distribution as size -> number
 // of live clusters of that size.
 func (m *Monitor) ClusterSizes() map[int]int {
-	m.mu.RLock()
-	sizes := m.ts.Partition().LiveSizes()
-	m.mu.RUnlock()
 	out := make(map[int]int)
-	for _, s := range sizes {
+	m.ClusterSizesInto(out)
+	return out
+}
+
+// ClusterSizesInto fills out (cleared first) with the live cluster-size
+// distribution. Unlike ClusterSizes it allocates nothing in the steady
+// state: the partition snapshot lands in a buffer owned by the monitor, so
+// scrape paths can reuse one map across /metrics scrapes. Safe for
+// concurrent callers.
+func (m *Monitor) ClusterSizesInto(out map[int]int) {
+	m.sizesMu.Lock()
+	defer m.sizesMu.Unlock()
+	m.mu.RLock()
+	m.sizesBuf = m.ts.Partition().LiveSizesInto(m.sizesBuf[:0])
+	m.mu.RUnlock()
+	clear(out)
+	for _, s := range m.sizesBuf {
 		out[s]++
 	}
-	return out
 }
 
 // QueryPathCounts exposes the precedence query-path tallies (see
@@ -268,14 +292,24 @@ type QueryResult struct {
 // queries themselves.
 const queryBatchParallelMin = 512
 
-// QueryBatch answers a batch of precedence queries under the read lock.
-// Queries from different connections run in parallel (the lock is shared),
-// and a large batch is additionally sharded across goroutines, each holding
-// its own read lock, so one fat QUERY frame can use several cores.
+// QueryBatch answers a batch of precedence queries. The whole batch is
+// evaluated against a single watermark captured up front, so every answer
+// reflects one store state even while ingestion runs — earlier revisions
+// re-acquired the read lock per shard and could straddle a delivery
+// mid-batch. No lock is taken at any point: large batches shard across
+// goroutines that scale linearly with cores instead of serializing behind
+// RLock acquisitions, and concurrent DeliverBatch calls proceed untouched.
 func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
 	out := make([]QueryResult, len(qs))
+	wp, _ := m.wmPool.Get().(*hct.Watermark)
+	if wp == nil {
+		wp = new(hct.Watermark)
+	}
+	*wp = m.ts.CaptureWatermark(*wp)
+	w := *wp
 	if len(qs) < queryBatchParallelMin {
-		m.queryRange(qs, out)
+		m.queryRange(qs, out, w)
+		m.wmPool.Put(wp)
 		return out
 	}
 	shards := runtime.GOMAXPROCS(0)
@@ -292,23 +326,23 @@ func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			m.queryRange(qs[lo:hi], out[lo:hi])
+			m.queryRange(qs[lo:hi], out[lo:hi], w)
 		}(lo, hi)
 	}
 	wg.Wait()
+	m.wmPool.Put(wp)
 	return out
 }
 
-// queryRange answers qs into res (same length) under one read-lock hold.
-func (m *Monitor) queryRange(qs []Query, res []QueryResult) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+// queryRange answers qs into res (same length) against the captured
+// watermark w.
+func (m *Monitor) queryRange(qs []Query, res []QueryResult, w hct.Watermark) {
 	for i, q := range qs {
 		switch q.Op {
 		case OpPrecedes:
-			res[i].True, res[i].Err = m.ts.Precedes(q.A, q.B)
+			res[i].True, res[i].Err = m.ts.PrecedesAt(q.A, q.B, w)
 		case OpConcurrent:
-			res[i].True, res[i].Err = m.ts.Concurrent(q.A, q.B)
+			res[i].True, res[i].Err = m.ts.ConcurrentAt(q.A, q.B, w)
 		default:
 			res[i].Err = fmt.Errorf("monitor: unknown query op %d", q.Op)
 		}

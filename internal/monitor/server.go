@@ -36,8 +36,10 @@ import (
 // Protocol v2 — length-prefixed binary frames carrying batches of events
 // and queries (see protocol.go for the framing spec). Event batches flow
 // through a bounded submit queue into the collector, which takes the
-// monitor's write lock once per deliverable run; query batches run under
-// the read lock concurrently across connections.
+// monitor's write lock once per deliverable run; query batches are
+// lock-free — each frame is answered against a single captured watermark
+// of the published store (Monitor.QueryBatch), so queries from any number
+// of connections run fully in parallel and never stall ingestion.
 //
 // Events may arrive out of order across connections; the server feeds them
 // through a Collector. The server is safe for many concurrent connections

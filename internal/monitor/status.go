@@ -56,13 +56,25 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			}
 			return float64(m.NumProcs()) / float64(a.LiveClusters)
 		})
+	// The scrape is allocation-free in the steady state: GaugeVecFunc
+	// serializes fn with its own rendering, so the counts, the returned
+	// map and the size->label strings are all reused across scrapes.
+	sizeCounts := make(map[int]int)
+	sizeVals := make(map[string]float64)
+	sizeLabels := make(map[int]string)
 	reg.GaugeVecFunc("poetd_cluster_size_count", "Live clusters by size.", "size",
 		func() map[string]float64 {
-			out := make(map[string]float64)
-			for size, n := range m.ClusterSizes() {
-				out[strconv.Itoa(size)] = float64(n)
+			m.ClusterSizesInto(sizeCounts)
+			clear(sizeVals)
+			for size, n := range sizeCounts {
+				lbl, ok := sizeLabels[size]
+				if !ok {
+					lbl = strconv.Itoa(size)
+					sizeLabels[size] = lbl
+				}
+				sizeVals[lbl] = float64(n)
 			}
-			return out
+			return sizeVals
 		})
 	counter("poetd_cluster_merges_total", "Cluster merges performed by the strategy.",
 		func() int64 { return int64(m.Accounting().Merges) })

@@ -155,13 +155,22 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // GaugeVecFunc registers a family of gauges distinguished by one label,
 // produced by fn at render time. Samples are rendered in sorted label-value
 // order so scrapes are deterministic.
+//
+// Concurrent scrapes render entries outside the registry lock, so the call
+// to fn and the iteration over its result are serialized per entry; fn may
+// therefore return a map it reuses across calls, making steady-state
+// scrapes allocation-free.
 func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
 	if !validName(label) {
 		panic(fmt.Sprintf("obs: invalid label name %q", label))
 	}
+	var mu sync.Mutex
+	var keys []string
 	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+		mu.Lock()
+		defer mu.Unlock()
 		vals := fn()
-		keys := make([]string, 0, len(vals))
+		keys = keys[:0]
 		for k := range vals {
 			keys = append(keys, k)
 		}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -205,4 +206,44 @@ func TestRegistryHandler(t *testing.T) {
 	if !strings.Contains(rec.Body.String(), "test_ops_total 42") {
 		t.Fatal("handler body missing counter sample")
 	}
+}
+
+// TestGaugeVecFuncReusedMapConcurrentScrapes pins the serialization contract
+// added for allocation-free scrapes: a GaugeVecFunc callback may return the
+// same map on every call, and concurrent renders — which run outside the
+// registry lock — must not race on it. Run under -race this fails loudly if
+// the per-entry serialization is ever removed.
+func TestGaugeVecFuncReusedMapConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	reused := make(map[string]float64)
+	n := 0
+	reg.GaugeVecFunc("reused_sizes", "Reused-map gauge vector.", "size",
+		func() map[string]float64 {
+			for k := range reused {
+				delete(reused, k)
+			}
+			n++
+			reused[strconv.Itoa(n%5)] = float64(n)
+			reused[strconv.Itoa((n+1)%5)] = float64(n + 1)
+			return reused
+		})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				var sb strings.Builder
+				if err := reg.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				if !strings.Contains(sb.String(), `reused_sizes{size=`) {
+					t.Error("scrape missing gauge vector samples")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
