@@ -14,6 +14,11 @@
 //
 //	poetd -procs 300 -wal /var/lib/poetd/wal -fsync batch -snapshot-every 1048576
 //
+// Delivery is sharded: -ingest-shards stamping lanes (default GOMAXPROCS)
+// split the timestamp vector math across cores behind a sequential planner,
+// so results are identical to single-writer delivery at any shard count
+// (DESIGN.md §11). STATS and /metrics report the per-shard event tallies.
+//
 // With -http the daemon exposes an admin plane on a second listener:
 // Prometheus metrics at /metrics (ingest/query/WAL latency histograms plus
 // the paper's live gauges — timestamp size ratio, cluster distribution,
@@ -89,6 +94,7 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown drain window")
+		shards    = flag.Int("ingest-shards", 0, "ingest shards (stamping lanes); 0 = GOMAXPROCS, 1 = single-writer")
 		walDir    = flag.String("wal", "", "write-ahead log directory (empty = no durability)")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: always | batch | never")
 		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
@@ -119,7 +125,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poetd: unknown strategy %q\n", *strat)
 		os.Exit(2)
 	}
-	m, err := monitor.New(*procs, cfg)
+	m, err := monitor.NewSharded(*procs, cfg, *shards)
 	if err != nil {
 		fatal("monitor init failed", err)
 	}
@@ -178,7 +184,7 @@ func main() {
 	}
 	logger.Info("monitoring",
 		"procs", *procs, "addr", bound, "strategy", *strat,
-		"maxcs", *maxCS, "maxbatch", *maxBatch)
+		"maxcs", *maxCS, "maxbatch", *maxBatch, "ingest_shards", m.IngestShards())
 	if wlog != nil {
 		logger.Info("wal enabled", "dir", *walDir, "fsync", *fsync, "snapshot_every", *snapEvery)
 	}
@@ -219,6 +225,7 @@ func main() {
 		admin.Shutdown(ctx)
 		cancel()
 	}
+	m.Close()
 	st := m.Stats(*fixed)
 	logger.Info("final accounting",
 		"events", st.Events, "cluster_receives", st.ClusterReceives, "storage_ints", st.StorageInts)

@@ -276,7 +276,9 @@ func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sampl
 
 // runWatch polls the daemon's STATS surface and prints interval throughput —
 // a top(1)-style view of a running poetd, built entirely from the protocol
-// the daemon already speaks. Each line is the delta over one interval.
+// the daemon already speaks. Each line is the delta over one interval; the
+// trailing column breaks the event rate down by ingest shard (stamping
+// lane), so an unbalanced shard map is visible at a glance.
 func runWatch(sess monitor.Session, interval time.Duration, count int) {
 	stats, err := sess.Stats()
 	if err != nil {
@@ -286,8 +288,9 @@ func runWatch(sess monitor.Session, interval time.Duration, count int) {
 	if !ok {
 		fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
 	}
-	fmt.Printf("%-10s %12s %12s %12s %12s %10s\n",
-		"interval", "events/s", "batches/s", "queries/s", "ingested", "errors")
+	prevShards := parseShardEvents(stats)
+	fmt.Printf("%-10s %12s %12s %12s %12s %10s  %s\n",
+		"interval", "events/s", "batches/s", "queries/s", "ingested", "errors", "shard events/s")
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for i := 0; count == 0 || i < count; i++ {
@@ -300,13 +303,65 @@ func runWatch(sess monitor.Session, interval time.Duration, count int) {
 		if !ok {
 			fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
 		}
+		curShards := parseShardEvents(stats)
 		delta := cur.Sub(prev)
 		rates := delta.Rates(interval)
-		fmt.Printf("%-10s %12.0f %12.0f %12.0f %12d %10d\n",
+		fmt.Printf("%-10s %12.0f %12.0f %12.0f %12d %10d  %s\n",
 			interval, rates.EventsPerSec, rates.BatchesPerSec, rates.QueriesPerSec,
-			cur.EventsIngested, cur.ProtocolErrors)
-		prev = cur
+			cur.EventsIngested, cur.ProtocolErrors,
+			shardRates(prevShards, curShards, interval))
+		prev, prevShards = cur, curShards
 	}
+}
+
+// parseShardEvents extracts the per-shard event tallies (shard0=..., shard1=...)
+// from a STATS body. Returns nil against a daemon without sharded ingest.
+func parseShardEvents(stats string) []int64 {
+	var out []int64
+	for _, f := range strings.Fields(stats) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || !strings.HasPrefix(k, "shard") {
+			continue
+		}
+		idx, err := strconv.Atoi(k[len("shard"):])
+		if err != nil || idx < 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			continue
+		}
+		for len(out) <= idx {
+			out = append(out, 0)
+		}
+		out[idx] = n
+	}
+	return out
+}
+
+// shardRates renders the per-shard event rate over one interval, e.g.
+// "[31250 30890 30120 29800]". Empty when the daemon reports no shards.
+func shardRates(prev, cur []int64, interval time.Duration) string {
+	if len(cur) == 0 {
+		return ""
+	}
+	secs := interval.Seconds()
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, n := range cur {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		var d int64
+		if i < len(prev) {
+			d = n - prev[i]
+		} else {
+			d = n
+		}
+		fmt.Fprintf(&b, "%.0f", float64(d)/secs)
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // stampClocks computes the trace's Fidge/Mattern clocks keyed by event.

@@ -62,18 +62,28 @@ type crNote struct {
 // partition) are NOT synchronized with the writer and still require
 // external serialization against it.
 type Timestamper struct {
-	numProcs int
-	cfg      Config
-	fmts     *fm.Timestamper
-	part     *cluster.Partition
+	plane // the lock-free read plane: columns, notes, query methods
 
-	cols []tsColumn // per process, slot Index-1
-	crs  []crColumn // per process, sorted by event index
-	ar   arena      // backing store for projection vectors
+	cfg  Config
+	fmts *fm.Timestamper
+	part *cluster.Partition
+
+	ar arena // backing store for projection vectors
 
 	events    int
 	crEvents  int
 	mergedCRs int
+}
+
+// plane is the lock-free read plane shared by the single-writer Timestamper
+// and the sharded Pipeline: the per-process timestamp columns, the noted
+// cluster-receive columns, and every precedence-query method. Writers (one
+// per column) publish through the column watermarks; the query methods take
+// no lock and read only published prefixes (see store.go for the protocol).
+type plane struct {
+	numProcs int
+	cols     []tsColumn // per process, slot Index-1
+	crs      []crColumn // per process, sorted by event index
 
 	// Query-path accounting. Precedence queries run concurrently with each
 	// other and with ingest, so these are atomic: qDirect counts queries
@@ -84,36 +94,50 @@ type Timestamper struct {
 	qRouted atomic.Int64
 }
 
-// NewTimestamper returns a timestamper over numProcs processes.
-func NewTimestamper(numProcs int, cfg Config) (*Timestamper, error) {
+func newPlane(numProcs int) plane {
+	return plane{
+		numProcs: numProcs,
+		cols:     make([]tsColumn, numProcs),
+		crs:      make([]crColumn, numProcs),
+	}
+}
+
+// resolveConfig validates cfg against numProcs and fills in the defaults
+// (singleton partition, never-merge decider). Shared by NewTimestamper and
+// NewPipeline so both entry points accept exactly the same configurations.
+func resolveConfig(numProcs int, cfg Config) (Config, *cluster.Partition, error) {
 	if numProcs <= 0 {
-		return nil, fmt.Errorf("%w: numProcs=%d", ErrBadConfig, numProcs)
+		return cfg, nil, fmt.Errorf("%w: numProcs=%d", ErrBadConfig, numProcs)
 	}
 	if cfg.MaxClusterSize < 1 {
-		return nil, fmt.Errorf("%w: MaxClusterSize=%d", ErrBadConfig, cfg.MaxClusterSize)
+		return cfg, nil, fmt.Errorf("%w: MaxClusterSize=%d", ErrBadConfig, cfg.MaxClusterSize)
 	}
 	part := cfg.Partition
 	if part == nil {
 		part = cluster.NewSingletons(numProcs)
 	}
 	if part.NumProcs() != numProcs {
-		return nil, fmt.Errorf("%w: partition covers %d processes, want %d", ErrBadConfig, part.NumProcs(), numProcs)
+		return cfg, nil, fmt.Errorf("%w: partition covers %d processes, want %d", ErrBadConfig, part.NumProcs(), numProcs)
 	}
 	if cfg.Decider == nil {
 		cfg.Decider = strategy.NewNever()
 	}
-	return &Timestamper{
-		numProcs: numProcs,
-		cfg:      cfg,
-		fmts:     fm.NewTimestamper(numProcs),
-		part:     part,
-		cols:     make([]tsColumn, numProcs),
-		crs:      make([]crColumn, numProcs),
-	}, nil
+	return cfg, part, nil
 }
 
-// NumProcs returns the number of processes.
-func (ts *Timestamper) NumProcs() int { return ts.numProcs }
+// NewTimestamper returns a timestamper over numProcs processes.
+func NewTimestamper(numProcs int, cfg Config) (*Timestamper, error) {
+	cfg, part, err := resolveConfig(numProcs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Timestamper{
+		plane: newPlane(numProcs),
+		cfg:   cfg,
+		fmts:  fm.NewTimestamper(numProcs),
+		part:  part,
+	}, nil
+}
 
 // Events returns the number of events stamped so far.
 func (ts *Timestamper) Events() int { return ts.events }
@@ -136,11 +160,14 @@ func (ts *Timestamper) MaxClusterSize() int { return ts.cfg.MaxClusterSize }
 // Merges returns the number of cluster merges performed so far.
 func (ts *Timestamper) Merges() int { return ts.part.Merges() }
 
+// NumProcs returns the number of processes.
+func (ts *plane) NumProcs() int { return ts.numProcs }
+
 // QueryPathCounts returns the precedence query-path tallies: direct is the
 // number of Precedes evaluations answered from the target timestamp's own
 // cluster epoch (or full vector), routed the number that consulted the
 // noted cluster receives. Safe to call concurrently with queries.
-func (ts *Timestamper) QueryPathCounts() (direct, routed int64) {
+func (ts *plane) QueryPathCounts() (direct, routed int64) {
 	return ts.qDirect.Load(), ts.qRouted.Load()
 }
 
@@ -229,14 +256,21 @@ func (ts *Timestamper) ObserveAll(tr *model.Trace) error {
 
 // Timestamp returns the stored timestamp of an event. Safe to call
 // concurrently with ingestion.
-func (ts *Timestamper) Timestamp(id model.EventID) (*Timestamp, bool) {
+func (ts *plane) Timestamp(id model.EventID) (*Timestamp, bool) {
 	t := ts.lookup(id, nil)
+	return t, t != nil
+}
+
+// TimestampAt is Timestamp evaluated against a captured watermark: events
+// published after the cut are reported absent.
+func (ts *plane) TimestampAt(id model.EventID, w Watermark) (*Timestamp, bool) {
+	t := ts.lookup(id, w)
 	return t, t != nil
 }
 
 // lookup resolves id against the published store: below the live
 // watermarks when w is nil, below the captured cut otherwise.
-func (ts *Timestamper) lookup(id model.EventID, w Watermark) *Timestamp {
+func (ts *plane) lookup(id model.EventID, w Watermark) *Timestamp {
 	p := int(id.Process)
 	if p < 0 || p >= ts.numProcs {
 		return nil
@@ -249,7 +283,7 @@ func (ts *Timestamper) lookup(id model.EventID, w Watermark) *Timestamp {
 
 // latestCRAtOrBelow returns the greatest published noted cluster receive of
 // process p with event index <= bound, or nil.
-func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
+func (ts *plane) latestCRAtOrBelow(p int32, bound int32) *crNote {
 	notes := ts.crs[p].published()
 	// Binary search for the first note with index > bound.
 	lo, hi := 0, len(notes)
@@ -279,18 +313,18 @@ func (ts *Timestamper) latestCRAtOrBelow(p int32, bound int32) *crNote {
 // processes, so the test consults, for each member process q, the greatest
 // noted cluster receive g of q with g's index <= FM(f)[q]: e precedes f iff
 // some such g knows at least e.Index events of pe.
-func (ts *Timestamper) Precedes(e, f model.EventID) (bool, error) {
+func (ts *plane) Precedes(e, f model.EventID) (bool, error) {
 	return ts.precedesAt(e, f, nil)
 }
 
 // PrecedesAt is Precedes evaluated against a captured watermark: events at
 // or above the cut are reported unknown even if published since, so every
 // query of a batch answered under one watermark sees one store state.
-func (ts *Timestamper) PrecedesAt(e, f model.EventID, w Watermark) (bool, error) {
+func (ts *plane) PrecedesAt(e, f model.EventID, w Watermark) (bool, error) {
 	return ts.precedesAt(e, f, w)
 }
 
-func (ts *Timestamper) precedesAt(e, f model.EventID, w Watermark) (bool, error) {
+func (ts *plane) precedesAt(e, f model.EventID, w Watermark) (bool, error) {
 	if e == f {
 		return false, nil
 	}
@@ -331,16 +365,16 @@ func (ts *Timestamper) precedesAt(e, f model.EventID, w Watermark) (bool, error)
 
 // Concurrent reports whether neither event precedes the other. Like
 // Precedes it takes no lock.
-func (ts *Timestamper) Concurrent(e, f model.EventID) (bool, error) {
+func (ts *plane) Concurrent(e, f model.EventID) (bool, error) {
 	return ts.concurrentAt(e, f, nil)
 }
 
 // ConcurrentAt is Concurrent evaluated against a captured watermark.
-func (ts *Timestamper) ConcurrentAt(e, f model.EventID, w Watermark) (bool, error) {
+func (ts *plane) ConcurrentAt(e, f model.EventID, w Watermark) (bool, error) {
 	return ts.concurrentAt(e, f, w)
 }
 
-func (ts *Timestamper) concurrentAt(e, f model.EventID, w Watermark) (bool, error) {
+func (ts *plane) concurrentAt(e, f model.EventID, w Watermark) (bool, error) {
 	if e == f {
 		return false, nil
 	}

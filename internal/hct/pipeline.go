@@ -1,0 +1,875 @@
+package hct
+
+// This file is the sharded ingest pipeline: the concurrent counterpart of
+// the single-writer Timestamper in engine.go, producing bit-identical
+// timestamps over the same lock-free read plane.
+//
+// # Why delivery can be sharded at all
+//
+// A Fidge/Mattern clock is a property of the partial order, not of the
+// delivery order: FM(e) is the join of e's predecessors' clocks plus e's own
+// increment, so any schedule that respects the happened-before edges
+// computes the same vectors. The only delivery-order-dependent state in the
+// engine is the cluster bookkeeping — which cluster an event is stamped
+// against, and whether a cluster receive merges or is noted — because merge
+// decisions consult the live partition. The pipeline therefore splits
+// delivery into
+//
+//   - a sequential planner (plan stage, under planMu) that validates each
+//     event, replicates the store/fm error contract of the single-writer
+//     path, and makes every cluster decision in delivery order, pinning the
+//     immutable *cluster.Info epoch each event must be stamped with; and
+//   - N parallel lanes (stamp stage), each owning a disjoint set of
+//     processes (and so a disjoint set of columns), that compute the FM
+//     vectors, project or retain them, and publish cells and cluster-receive
+//     notes — contention-free except at cross-shard communication.
+//
+// The shard map follows the paper's clustering: when an initial partition is
+// configured, whole clusters land on one shard (intra-cluster traffic, the
+// common case by construction, never crosses lanes); otherwise processes are
+// split into contiguous blocks.
+//
+// # Cross-shard rendezvous
+//
+// A receive needs the matching send's finalized clock. Same-lane sends park
+// it in a lane-local map; cross-lane sends publish it to a striped
+// rendezvous table keyed by send ID, where the receiver's lane blocks until
+// it appears. Delivery order guarantees the send was dispatched before the
+// receive, so the wait always terminates; and because a lane publishes an
+// event's column cell and cluster-receive note BEFORE forwarding its clock
+// (put-after-publish), a clock obtained from the rendezvous proves, by
+// induction over lanes, that every event it counts has published cell and
+// note — exactly the visibility invariant the routed precedence path needs
+// (store.go).
+//
+// Deadlock-freedom: suppose lane A blocks at item iA (receive of send S in
+// lane B) and B blocks at iB (receive of send S' in A), with S queued after
+// iB and S' after iA. Dispatch order gives S < iA and S' < iB (sends precede
+// their receives), so S' < iB < S < iA < S' — a contradiction. Lanes process
+// their queues in dispatch order, so the blocked-on send is always ahead of
+// (or at) the other lane's cursor, never behind another blocked item.
+//
+// Synchronous pairs are a joint event: both halves carry the identical join
+// of the two sides' base clocks. A same-lane pair completes locally (the
+// planner dispatches both halves adjacently). A cross-lane pair runs a
+// two-round exchange: (1) each side publishes its own base clock keyed by
+// its own ID, then takes the partner's — both puts precede both takes, so
+// the exchange cannot deadlock — and stamps its half with the join; (2) each
+// side marks its half published and waits for the partner's mark before
+// processing further items. Round 2 exists because the joint clock counts
+// the PARTNER's own event: without it, a later event of this lane could
+// forward a clock counting an event whose cell and note are not yet
+// published, breaking the put-after-publish invariant.
+//
+// # Barrier
+//
+// Dispatch is asynchronous; Barrier blocks until every item dispatched
+// before the call has been stamped and published. The planner counts issued
+// items per shard; lanes count completed items per drained chunk. A held
+// first sync half is not "issued" (the single-writer path, too, returns from
+// DeliverBatch with the pair unstamped until the partner arrives).
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fm"
+	"repro/internal/model"
+	"repro/internal/poset"
+	"repro/internal/vclock"
+)
+
+// ErrPipelineClosed is returned by Dispatch after Close.
+var ErrPipelineClosed = errors.New("hct: pipeline closed")
+
+// WaitObserver receives the duration of each blocking cross-shard
+// rendezvous wait. The telemetry plane installs a latency histogram here.
+type WaitObserver interface {
+	Observe(d time.Duration)
+}
+
+// PipelineOptions tunes the sharding.
+type PipelineOptions struct {
+	// Shards is the number of ingest lanes. Zero or negative means
+	// GOMAXPROCS. The value is clamped to the number of processes.
+	Shards int
+}
+
+// item is one planned unit of lane work: the event plus the cluster epoch
+// the planner pinned for it. A nil cluster marks a noted cluster receive
+// (the lane retains the full vector and publishes a note).
+type item struct {
+	ev model.Event
+	cl *cluster.Info
+}
+
+// Pipeline is the sharded ingest engine. It embeds the same lock-free read
+// plane as Timestamper, so the entire query surface (Precedes, Concurrent,
+// Timestamp, CaptureWatermark, ...) is shared and concurrent with stamping.
+//
+// Dispatch and the accounting methods are safe for concurrent use; queries
+// are lock-free as on Timestamper.
+type Pipeline struct {
+	plane
+
+	cfg     Config
+	part    *cluster.Partition
+	nshards int
+	smap    []int32 // process -> shard
+
+	// planMu guards the planner state below and the partition.
+	planMu   sync.Mutex
+	next     []model.EventIndex                // per process, next expected index
+	pendSend map[model.EventID]model.EventID   // in-flight send -> its receive
+	syncHold *model.Event                      // first half of an in-flight sync pair
+	events    int
+	crEvents  int
+	mergedCRs int
+	issued   []uint64 // items dispatched per shard
+	curBufs  [][]item // per-shard staging buffers for the current Dispatch
+	closed   bool
+
+	lanes []*lane
+	rv    rendezvous
+	wg    sync.WaitGroup
+
+	// doneMu guards done, the per-shard completed-item counts.
+	doneMu   sync.Mutex
+	doneCond *sync.Cond
+	done     []uint64
+
+	snapPool sync.Pool // *[]uint64 barrier snapshots
+
+	wo atomic.Pointer[WaitObserver]
+}
+
+// NewPipeline returns a sharded pipeline over numProcs processes. With one
+// shard (or one process) it degenerates to the single-writer path: Dispatch
+// stamps inline and no goroutines are started. Close releases the lanes.
+func NewPipeline(numProcs int, cfg Config, opt PipelineOptions) (*Pipeline, error) {
+	clusterAligned := cfg.Partition != nil
+	cfg, part, err := resolveConfig(numProcs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nshards := opt.Shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	if nshards > numProcs {
+		nshards = numProcs
+	}
+	p := &Pipeline{
+		plane:    newPlane(numProcs),
+		cfg:      cfg,
+		part:     part,
+		nshards:  nshards,
+		next:     make([]model.EventIndex, numProcs),
+		pendSend: make(map[model.EventID]model.EventID),
+		issued:   make([]uint64, nshards),
+		done:     make([]uint64, nshards),
+	}
+	for i := range p.next {
+		p.next[i] = 1
+	}
+	p.doneCond = sync.NewCond(&p.doneMu)
+	p.smap = buildShardMap(numProcs, nshards, part, clusterAligned)
+	p.rv.init()
+	p.lanes = make([]*lane, nshards)
+	for i := range p.lanes {
+		ln := &lane{
+			pl:        p,
+			id:        int32(i),
+			frontier:  make([]vclock.Clock, numProcs),
+			localSend: make(map[model.EventID]vclock.Clock),
+		}
+		ln.cond = sync.NewCond(&ln.mu)
+		p.lanes[i] = ln
+	}
+	if nshards > 1 {
+		p.curBufs = make([][]item, nshards)
+		for i := range p.lanes {
+			p.wg.Add(1)
+			go p.lanes[i].run()
+		}
+	}
+	return p, nil
+}
+
+// buildShardMap assigns each process a shard. With a configured initial
+// partition, whole clusters are packed greedily (largest first) onto the
+// least-loaded shard, so intra-cluster messages stay on one lane; otherwise
+// processes split into contiguous blocks, which keeps ring- and
+// stencil-shaped neighbour traffic local.
+func buildShardMap(numProcs, nshards int, part *cluster.Partition, clusterAligned bool) []int32 {
+	smap := make([]int32, numProcs)
+	if !clusterAligned || nshards == 1 {
+		for p := 0; p < numProcs; p++ {
+			smap[p] = int32(p * nshards / numProcs)
+		}
+		return smap
+	}
+	groups := part.Live() // ascending ID: deterministic
+	// Stable largest-first order.
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		j := i
+		for j > 0 && groups[j-1].Size() < g.Size() {
+			groups[j] = groups[j-1]
+			j--
+		}
+		groups[j] = g
+	}
+	loads := make([]int, nshards)
+	for _, g := range groups {
+		best := 0
+		for s := 1; s < nshards; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		for _, m := range g.Members {
+			smap[m] = int32(best)
+		}
+		loads[best] += g.Size()
+	}
+	return smap
+}
+
+// Close stops the lanes after draining their queues. Further Dispatch calls
+// fail with ErrPipelineClosed; the query surface stays usable.
+func (p *Pipeline) Close() {
+	p.planMu.Lock()
+	if p.closed {
+		p.planMu.Unlock()
+		return
+	}
+	p.closed = true
+	p.planMu.Unlock()
+	if p.nshards > 1 {
+		for _, ln := range p.lanes {
+			ln.mu.Lock()
+			ln.stop = true
+			ln.cond.Signal()
+			ln.mu.Unlock()
+		}
+		p.wg.Wait()
+	}
+}
+
+// Dispatch plans and enqueues a run of events in delivery order. It returns
+// on the first invalid event with the same error (and the same side
+// effects: prior events stay delivered) as the single-writer path, wrapped
+// as "at <id>: ...". Stamping is asynchronous — use Barrier to wait for
+// visibility. With one shard, Dispatch stamps inline and is synchronous.
+func (p *Pipeline) Dispatch(events []model.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.closed {
+		return ErrPipelineClosed
+	}
+	var firstErr error
+	for i := range events {
+		if err := p.planEvent(events[i]); err != nil {
+			firstErr = fmt.Errorf("at %v: %w", events[i].ID, err)
+			break
+		}
+	}
+	p.flushLocked()
+	return firstErr
+}
+
+// DispatchOne plans and enqueues a single event, returning the raw
+// (unwrapped) validation error, mirroring Monitor.Deliver.
+func (p *Pipeline) DispatchOne(e model.Event) error {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	if p.closed {
+		return ErrPipelineClosed
+	}
+	err := p.planEvent(e)
+	p.flushLocked()
+	return err
+}
+
+// planEvent validates e, applies the planner-state mutations, and stages
+// the finalized stamping work. The validation order and error values
+// replicate the single-writer path exactly: the partial-order store's
+// checks (and mutations) come first, then the Fidge/Mattern layer's —
+// an event can mutate the frontier yet fail the fm checks, just as
+// poset.Store.Append succeeds before Timestamper.Ingest rejects.
+func (p *Pipeline) planEvent(e model.Event) error {
+	pr := int(e.ID.Process)
+	if pr < 0 || pr >= p.numProcs {
+		return fmt.Errorf("%w: %v", poset.ErrProcOutOfRange, e.ID)
+	}
+	want := p.next[pr]
+	if e.ID.Index < want {
+		return fmt.Errorf("%w: %v", poset.ErrDuplicate, e.ID)
+	}
+	if e.ID.Index != want {
+		return fmt.Errorf("%w: %v, want index %d", poset.ErrBadIndex, e.ID, want)
+	}
+	if e.Kind == model.Receive {
+		if _, ok := p.pendSend[e.Partner]; !ok {
+			return fmt.Errorf("%w: %v <- %v", poset.ErrUnknownSend, e.ID, e.Partner)
+		}
+		delete(p.pendSend, e.Partner)
+	}
+	if e.Kind == model.Send {
+		p.pendSend[e.ID] = e.Partner
+	}
+	p.next[pr] = want + 1
+
+	// Fidge/Mattern layer.
+	if p.syncHold != nil && e.Kind != model.Sync {
+		return fmt.Errorf("%w: %v arrived while sync %v pending", fm.ErrSyncInterleaved, e.ID, p.syncHold.ID)
+	}
+	switch e.Kind {
+	case model.Unary, model.Send, model.Receive:
+		p.stage(e)
+		return nil
+	case model.Sync:
+		if p.syncHold == nil {
+			held := e
+			p.syncHold = &held
+			return nil
+		}
+		first := *p.syncHold
+		if first.Partner != e.ID || e.Partner != first.ID {
+			return fmt.Errorf("%w: %v after %v", fm.ErrSyncPartner, e.ID, first.ID)
+		}
+		p.syncHold = nil
+		p.stage(first)
+		p.stage(e)
+		return nil
+	default:
+		return fmt.Errorf("fm: unknown event kind %v for %v", e.Kind, e.ID)
+	}
+}
+
+// stage runs the cluster plan for one finalized event and hands the item to
+// its lane (inline with one shard).
+func (p *Pipeline) stage(e model.Event) {
+	it := item{ev: e, cl: p.clusterPlan(e)}
+	if p.nshards == 1 {
+		p.lanes[0].process(&it)
+		p.issued[0]++
+		return
+	}
+	s := p.smap[e.ID.Process]
+	p.curBufs[s] = append(p.curBufs[s], it)
+	p.issued[s]++
+}
+
+// clusterPlan makes the delivery-order-dependent cluster decision for one
+// finalized event: the same code path as Timestamper.assign up to the
+// stamping itself. It returns the cluster epoch to stamp with, or nil for a
+// noted cluster receive.
+func (p *Pipeline) clusterPlan(e model.Event) *cluster.Info {
+	p.events++
+	pr := int32(e.ID.Process)
+	own := p.part.ClusterOf(pr)
+	isCR := e.Kind.IsReceive() && !own.Contains(int32(e.Partner.Process))
+	if isCR {
+		other := p.part.ClusterOf(int32(e.Partner.Process))
+		sizeOK := own.Size()+other.Size() <= p.cfg.MaxClusterSize
+		if p.cfg.Decider.OnClusterReceive(own.ID, other.ID, own.Size(), other.Size(), sizeOK) {
+			if !sizeOK {
+				panic(fmt.Sprintf("hct: decider %s merged past the size bound", p.cfg.Decider.Name()))
+			}
+			merged := p.part.Merge(own.ID, other.ID)
+			p.cfg.Decider.OnMerge(own.ID, other.ID, merged.ID)
+			own = merged
+			p.mergedCRs++
+			isCR = false
+		}
+	}
+	if isCR {
+		p.crEvents++
+		return nil
+	}
+	return own
+}
+
+// flushLocked appends the staged items to their lanes, preserving planner
+// order per lane. Called with planMu held, so cross-batch lane order equals
+// planner order.
+func (p *Pipeline) flushLocked() {
+	if p.nshards == 1 {
+		return
+	}
+	for s, buf := range p.curBufs {
+		if len(buf) == 0 {
+			continue
+		}
+		ln := p.lanes[s]
+		ln.mu.Lock()
+		ln.queue = append(ln.queue, buf...)
+		ln.cond.Signal()
+		ln.mu.Unlock()
+		p.curBufs[s] = buf[:0]
+	}
+}
+
+// Barrier blocks until every item dispatched before the call has been
+// stamped and published. With one shard it is a no-op (Dispatch is
+// synchronous there). Safe for concurrent callers.
+func (p *Pipeline) Barrier() {
+	if p.nshards == 1 {
+		return
+	}
+	bp, _ := p.snapPool.Get().(*[]uint64)
+	if bp == nil {
+		bp = new([]uint64)
+	}
+	p.planMu.Lock()
+	*bp = append((*bp)[:0], p.issued...)
+	p.planMu.Unlock()
+	snap := *bp
+	p.doneMu.Lock()
+	for !covered(p.done, snap) {
+		p.doneCond.Wait()
+	}
+	p.doneMu.Unlock()
+	p.snapPool.Put(bp)
+}
+
+func covered(done, snap []uint64) bool {
+	for i, want := range snap {
+		if done[i] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// SetWaitObserver installs the observer for blocking cross-shard waits.
+func (p *Pipeline) SetWaitObserver(o WaitObserver) {
+	if o == nil {
+		p.wo.Store(nil)
+		return
+	}
+	p.wo.Store(&o)
+}
+
+func (p *Pipeline) observeWait(d time.Duration) {
+	if op := p.wo.Load(); op != nil {
+		(*op).Observe(d)
+	}
+}
+
+// IngestShards returns the number of ingest lanes.
+func (p *Pipeline) IngestShards() int { return p.nshards }
+
+// ShardEventsInto appends the per-shard dispatched-item counts to buf.
+func (p *Pipeline) ShardEventsInto(buf []uint64) []uint64 {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return append(buf, p.issued...)
+}
+
+// CrossShardWaits returns the total number of blocking rendezvous waits.
+func (p *Pipeline) CrossShardWaits() int64 {
+	var total int64
+	for _, ln := range p.lanes {
+		total += ln.waits.Load()
+	}
+	return total
+}
+
+// Events returns the number of events finalized by the planner. Like the
+// other accounting methods it reflects dispatched work, which may be ahead
+// of what is published; call Barrier first for an exact snapshot.
+func (p *Pipeline) Events() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.events
+}
+
+// ClusterReceives returns the number of noted (non-merged) cluster receives.
+func (p *Pipeline) ClusterReceives() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.crEvents
+}
+
+// MergedClusterReceives returns the number of merge-triggering cluster
+// receives.
+func (p *Pipeline) MergedClusterReceives() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.mergedCRs
+}
+
+// Merges returns the number of cluster merges performed.
+func (p *Pipeline) Merges() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.part.Merges()
+}
+
+// NumLive returns the number of live clusters.
+func (p *Pipeline) NumLive() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.part.NumLive()
+}
+
+// MaxLiveSize returns the size of the largest live cluster.
+func (p *Pipeline) MaxLiveSize() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.part.MaxLiveSize()
+}
+
+// LiveSizesInto appends the live cluster sizes to buf.
+func (p *Pipeline) LiveSizesInto(buf []int) []int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return p.part.LiveSizesInto(buf)
+}
+
+// MaxClusterSize returns the configured cluster-size bound.
+func (p *Pipeline) MaxClusterSize() int { return p.cfg.MaxClusterSize }
+
+// StorageInts returns the vector elements occupied by all stored timestamps
+// under the fixed-size encoding (see Timestamper.StorageInts).
+func (p *Pipeline) StorageInts(fixedVector int) int64 {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	cr := int64(p.crEvents)
+	rest := int64(p.events) - cr
+	return cr*int64(fixedVector) + rest*int64(p.cfg.MaxClusterSize)
+}
+
+// PendingSends returns the number of delivered sends awaiting their receive.
+func (p *Pipeline) PendingSends() int {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return len(p.pendSend)
+}
+
+// PendingSendTargets returns, per in-flight send, the receive it targets.
+func (p *Pipeline) PendingSendTargets() map[model.EventID]model.EventID {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	out := make(map[model.EventID]model.EventID, len(p.pendSend))
+	for id, partner := range p.pendSend {
+		out[id] = partner
+	}
+	return out
+}
+
+// FrontierNext returns, per process, the index of the next undelivered
+// event.
+func (p *Pipeline) FrontierNext() []model.EventIndex {
+	p.planMu.Lock()
+	defer p.planMu.Unlock()
+	return append([]model.EventIndex(nil), p.next...)
+}
+
+// heldSync is a lane's half-completed same-shard synchronous pair.
+type heldSync struct {
+	it   item
+	base vclock.Clock // first half's own base clock, not yet joined
+}
+
+// lane is one ingest shard: a queue of planned items and the writer-private
+// stamping state for its processes.
+type lane struct {
+	pl *Pipeline
+	id int32
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []item
+	spare []item // recycled chunk buffer (double-buffer swap)
+	stop  bool
+
+	frontier  []vclock.Clock // per process; only this lane's entries are used
+	free      []vclock.Clock // retired clocks, reused for retained copies
+	ar        arena
+	localSend map[model.EventID]vclock.Clock // same-lane in-flight sends
+	held      *heldSync
+
+	waits atomic.Int64 // blocking cross-shard waits
+}
+
+// run drains the queue until stopped, in chunks: all currently queued items
+// are claimed in one lock acquisition, processed, then reported done.
+func (ln *lane) run() {
+	defer ln.pl.wg.Done()
+	for {
+		ln.mu.Lock()
+		for len(ln.queue) == 0 && !ln.stop {
+			ln.cond.Wait()
+		}
+		if len(ln.queue) == 0 {
+			ln.mu.Unlock()
+			return
+		}
+		chunk := ln.queue
+		ln.queue = ln.spare[:0]
+		ln.mu.Unlock()
+		for i := range chunk {
+			ln.process(&chunk[i])
+		}
+		ln.spare = chunk[:0]
+		ln.pl.doneMu.Lock()
+		ln.pl.done[ln.id] += uint64(len(chunk))
+		ln.pl.doneCond.Broadcast()
+		ln.pl.doneMu.Unlock()
+	}
+}
+
+// process stamps one planned item, mirroring fm.ObserveBorrowed's clock
+// computation and Timestamper.assign's stamping, restricted to this lane's
+// processes.
+func (ln *lane) process(it *item) {
+	e := it.ev
+	if e.Kind == model.Sync {
+		ln.processSync(it)
+		return
+	}
+	clk := ln.bump(e)
+	if e.Kind == model.Receive {
+		sclk := ln.takeSend(e.Partner)
+		clk.MaxInto(sclk)
+		ln.free = append(ln.free, sclk)
+	}
+	ln.stamp(e, clk, it.cl)
+	if e.Kind == model.Send {
+		// Forward only after publishing the cell and note: a clock visible
+		// to another lane must count only published events (see the file
+		// comment).
+		ln.forwardSend(e, clk)
+	}
+}
+
+// processSync stamps one half of a synchronous pair. Same-lane pairs
+// complete locally (the planner dispatches the halves adjacently);
+// cross-lane pairs run the two-round exchange described in the file
+// comment.
+func (ln *lane) processSync(it *item) {
+	e := it.ev
+	if ln.pl.smap[e.Partner.Process] == ln.id {
+		if ln.held == nil {
+			ln.held = &heldSync{it: *it, base: ln.ownClock(e)}
+			return
+		}
+		first := ln.held
+		ln.held = nil
+		clk := ln.bump(e)
+		clk.MaxInto(first.base)
+		ln.free = append(ln.free, first.base)
+		p1 := first.it.ev.ID.Process
+		f1 := ln.frontier[p1]
+		if f1 == nil {
+			f1 = vclock.New(ln.pl.numProcs)
+			ln.frontier[p1] = f1
+		}
+		f1.CopyFrom(clk)
+		ln.stamp(first.it.ev, f1, first.it.cl)
+		ln.stamp(e, clk, it.cl)
+		return
+	}
+
+	// Round 1: exchange base clocks (put before take: no deadlock) and
+	// stamp the joint clock. max is commutative, so both sides compute the
+	// identical vector.
+	base := ln.ownClock(e)
+	ln.pl.rv.put(e.ID, base)
+	pclk, waited := ln.pl.rv.take(e.Partner)
+	ln.noteWait(waited)
+	joint := ln.bump(e) // frontier now equals base
+	joint.MaxInto(pclk)
+	ln.free = append(ln.free, pclk)
+	ln.stamp(e, joint, it.cl)
+
+	// Round 2: our joint clock counts the partner's own event, so later
+	// items of this lane must not forward it until the partner's cell and
+	// note are published.
+	ln.pl.rv.putDone(e.ID)
+	waited = ln.pl.rv.takeDone(e.Partner)
+	ln.noteWait(waited)
+}
+
+func (ln *lane) noteWait(d time.Duration) {
+	if d > 0 {
+		ln.waits.Add(1)
+		ln.pl.observeWait(d)
+	}
+}
+
+// bump advances the frontier of e's process in place and returns it.
+func (ln *lane) bump(e model.Event) vclock.Clock {
+	p := e.ID.Process
+	clk := ln.frontier[p]
+	if clk == nil {
+		clk = vclock.New(ln.pl.numProcs)
+		ln.frontier[p] = clk
+	}
+	clk[p]++
+	return clk
+}
+
+// ownClock returns a private copy of e's base clock (predecessor's clock
+// with the own component incremented) without advancing the frontier.
+func (ln *lane) ownClock(e model.Event) vclock.Clock {
+	p := e.ID.Process
+	var clk vclock.Clock
+	if prev := ln.frontier[p]; prev != nil {
+		clk = ln.retain(prev)
+	} else {
+		clk = vclock.New(ln.pl.numProcs)
+	}
+	clk[p]++
+	return clk
+}
+
+// retain copies clk into a (possibly recycled) private vector.
+func (ln *lane) retain(clk vclock.Clock) vclock.Clock {
+	if n := len(ln.free); n > 0 {
+		cp := ln.free[n-1]
+		ln.free = ln.free[:n-1]
+		cp.CopyFrom(clk)
+		return cp
+	}
+	return clk.Clone()
+}
+
+// forwardSend parks a private copy of the send's finalized clock where its
+// receive will look: the lane-local map for a same-lane receiver, the
+// rendezvous for a cross-lane one.
+func (ln *lane) forwardSend(e model.Event, clk vclock.Clock) {
+	cp := ln.retain(clk)
+	if ln.pl.smap[e.Partner.Process] == ln.id {
+		ln.localSend[e.ID] = cp
+	} else {
+		ln.pl.rv.put(e.ID, cp)
+	}
+}
+
+// takeSend fetches the matching send's clock. The caller owns the result
+// and should recycle it after use.
+func (ln *lane) takeSend(sendID model.EventID) vclock.Clock {
+	if clk, ok := ln.localSend[sendID]; ok {
+		delete(ln.localSend, sendID)
+		return clk
+	}
+	clk, waited := ln.pl.rv.take(sendID)
+	ln.noteWait(waited)
+	return clk
+}
+
+// stamp converts a finalized clock into the event's timestamp and publishes
+// it, exactly as Timestamper.assign: note before cell, cell write before
+// watermark store.
+func (ln *lane) stamp(e model.Event, clk vclock.Clock, cl *cluster.Info) {
+	p := e.ID.Process
+	t := Timestamp{ID: e.ID, Kind: e.Kind, Partner: e.Partner}
+	if cl == nil {
+		t.Full = clk.Clone()
+		ln.pl.crs[p].append(crNote{index: int32(e.ID.Index), clock: t.Full})
+		ln.pl.crs[p].publish() // before the cell: see store.go
+	} else {
+		t.Cluster = cl
+		t.Proj = clk.ProjectInto(ln.ar.carve(len(cl.Members)), cl.Members)
+	}
+	ln.pl.cols[p].append(t)
+	ln.pl.cols[p].publish()
+}
+
+// rendezvous is the cross-shard meeting point: a striped map from event ID
+// to a finalized clock (sends and sync base clocks) plus a published-mark
+// set (sync round 2). Striping keeps unrelated waits off each other's lock.
+type rendezvous struct {
+	stripes [64]rvStripe
+}
+
+type rvStripe struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	clocks map[model.EventID]vclock.Clock
+	marks  map[model.EventID]struct{}
+}
+
+func (rv *rendezvous) init() {
+	for i := range rv.stripes {
+		s := &rv.stripes[i]
+		s.cond.L = &s.mu
+		s.clocks = make(map[model.EventID]vclock.Clock)
+		s.marks = make(map[model.EventID]struct{})
+	}
+}
+
+func (rv *rendezvous) stripeFor(id model.EventID) *rvStripe {
+	h := uint32(id.Process)*0x9E3779B1 ^ uint32(id.Index)*0x85EBCA6B
+	return &rv.stripes[h&63]
+}
+
+// put publishes a clock under id. Ownership transfers to the taker.
+func (rv *rendezvous) put(id model.EventID, clk vclock.Clock) {
+	s := rv.stripeFor(id)
+	s.mu.Lock()
+	s.clocks[id] = clk
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// take blocks until a clock is published under id, consumes it, and
+// reports how long the caller was blocked (zero if it never waited).
+func (rv *rendezvous) take(id model.EventID) (vclock.Clock, time.Duration) {
+	s := rv.stripeFor(id)
+	var waited time.Duration
+	s.mu.Lock()
+	clk, ok := s.clocks[id]
+	if !ok {
+		start := time.Now()
+		for !ok {
+			s.cond.Wait()
+			clk, ok = s.clocks[id]
+		}
+		waited = time.Since(start)
+	}
+	delete(s.clocks, id)
+	s.mu.Unlock()
+	return clk, waited
+}
+
+// putDone marks id's cell and note as published.
+func (rv *rendezvous) putDone(id model.EventID) {
+	s := rv.stripeFor(id)
+	s.mu.Lock()
+	s.marks[id] = struct{}{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// takeDone blocks until id is marked published and consumes the mark.
+func (rv *rendezvous) takeDone(id model.EventID) time.Duration {
+	s := rv.stripeFor(id)
+	var waited time.Duration
+	s.mu.Lock()
+	_, ok := s.marks[id]
+	if !ok {
+		start := time.Now()
+		for !ok {
+			s.cond.Wait()
+			_, ok = s.marks[id]
+		}
+		waited = time.Since(start)
+	}
+	delete(s.marks, id)
+	s.mu.Unlock()
+	return waited
+}

@@ -52,7 +52,13 @@ import (
 // can touch. Notes published after f's cell have indexes above the bound
 // and are skipped by the binary search, so late reads are harmless.
 
-// tsColumn is one process's timestamp column.
+// tsColumn is one process's timestamp column. Deliberately NOT padded to a
+// cache line: under sharded ingest adjacent columns can belong to different
+// writer lanes, but the shard map is block-contiguous (or cluster-packed,
+// which keeps hot neighbours together), so cross-lane line sharing is
+// confined to shard boundaries — while padding every column to 64 B was
+// measured to cost ~25% of single-thread query throughput by spreading the
+// watermarks CaptureWatermark and precedesAt sweep over.
 type tsColumn struct {
 	cells []Timestamp                 // writer-private; len = appended count
 	hdr   atomic.Pointer[[]Timestamp] // published backing array (len == cap)
@@ -168,7 +174,7 @@ type Watermark []int32
 // CaptureWatermark snapshots the published event count of every process
 // into w (reallocating if too small) and returns it. Safe to call
 // concurrently with the writer; the snapshot is monotone per process.
-func (ts *Timestamper) CaptureWatermark(w Watermark) Watermark {
+func (ts *plane) CaptureWatermark(w Watermark) Watermark {
 	if cap(w) < ts.numProcs {
 		w = make(Watermark, ts.numProcs)
 	}

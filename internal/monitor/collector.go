@@ -75,6 +75,16 @@ type Collector struct {
 	run     []model.Event // deliverable run being assembled (reused)
 	journal RunJournal    // optional write-ahead journal
 
+	// pipelined selects asynchronous delivery: flush dispatches the run to
+	// the monitor's ingest shards and returns without waiting for the
+	// stamps to publish, overlapping the next run's assembly (and journal
+	// append) with the current run's vector math. The journal ordering
+	// contract is unchanged — AppendRun still completes before the run is
+	// dispatched, so the durable log remains a run-atomic prefix of what
+	// the pipeline has accepted. Callers that need read-your-writes (the
+	// server's query surfaces) issue Monitor.IngestBarrier first.
+	pipelined bool
+
 	// Optional telemetry (set by the server when instrumented): latency of
 	// the monitor delivery inside each flush, and the delivered run sizes.
 	deliverHist *obs.Histogram
@@ -356,7 +366,12 @@ func (c *Collector) flush() error {
 	if c.deliverHist != nil {
 		start = time.Now()
 	}
-	err := c.m.DeliverBatch(c.run)
+	var err error
+	if c.pipelined {
+		err = c.m.DeliverBatchAsync(c.run)
+	} else {
+		err = c.m.DeliverBatch(c.run)
+	}
 	if c.deliverHist != nil {
 		c.deliverHist.ObserveSince(start)
 	}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"errors"
+	"io"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/hct"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/strategy"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -135,6 +137,175 @@ func TestLockFreeQueryDuringIngest(t *testing.T) {
 	}
 	t.Logf("answered %d queries (%d unknown-yet) concurrently with ingest of %d events",
 		answered.Load(), unknown.Load(), len(tr.Events)-half)
+}
+
+// TestShardedIngestQueryMetricsStress is the -race battery for the sharded
+// ingest pipeline: a monitor at 8 stamping lanes fed through a pipelined
+// collector by two submitters racing interleaved chunks (so the collector's
+// buffering and the cross-shard rendezvous are both exercised), while query
+// goroutines hammer QueryBatch and a scraper renders the full /metrics
+// surface — including the per-shard gauges — without pause. Every answered
+// query must agree with the Fidge/Mattern oracle; unanswerable ones must
+// fail with exactly ErrUnknownEvent.
+func TestShardedIngestQueryMetricsStress(t *testing.T) {
+	spec, ok := workload.Find("pvm/ring-300")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	tr := spec.Generate()
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		clock[st.Event.ID] = st.Clock
+	}
+
+	m, err := NewSharded(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	reg := obs.NewRegistry()
+	tel := obs.NewTelemetry(reg)
+	m.Pipeline().SetWaitObserver(tel.CrossShardWait)
+	c := NewCollector(m)
+	c.pipelined = true
+	c.deliverHist = tel.DeliverBatch
+	c.runHist = tel.RunEvents
+	reg.GaugeFunc("stress_ingest_shards", "shards under stress",
+		func() float64 { return float64(m.IngestShards()) })
+	var shardBuf []uint64
+	reg.GaugeFunc("stress_shard_events_max", "busiest shard tally",
+		func() float64 {
+			shardBuf = m.Pipeline().ShardEventsInto(shardBuf)
+			var max uint64
+			for _, n := range shardBuf {
+				if n > max {
+					max = n
+				}
+			}
+			return float64(max)
+		})
+
+	const chunk = 512
+	var (
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+		failMu  sync.Mutex
+		failure string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if failure == "" {
+			failure = msg
+		}
+		failMu.Unlock()
+	}
+
+	// Two submitters race interleaved chunks into the collector: even chunks
+	// and odd chunks arrive from different goroutines, so roughly half the
+	// stream is buffered out of order before its predecessor chunk lands.
+	var subWG sync.WaitGroup
+	for par := 0; par < 2; par++ {
+		subWG.Add(1)
+		go func(par int) {
+			defer subWG.Done()
+			for ci := par; ci*chunk < len(tr.Events); ci += 2 {
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > len(tr.Events) {
+					hi = len(tr.Events)
+				}
+				if _, err := c.SubmitBatch(tr.Events[lo:hi]); err != nil {
+					fail("SubmitBatch: " + err.Error())
+					return
+				}
+			}
+		}(par)
+	}
+
+	// Query goroutines: batches big enough to fan out internally, answers
+	// checked against the oracle.
+	var answered atomic.Int64
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(0x5EED + int64(g)))
+			qs := make([]Query, 2*queryBatchParallelMin)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for i := range qs {
+					qs[i] = Query{
+						Op: OpPrecedes,
+						A:  tr.Events[r.Intn(len(tr.Events))].ID,
+						B:  tr.Events[r.Intn(len(tr.Events))].ID,
+					}
+				}
+				res := m.QueryBatch(qs)
+				for i, qr := range res {
+					if qr.Err != nil {
+						if !errors.Is(qr.Err, hct.ErrUnknownEvent) {
+							fail("QueryBatch: " + qr.Err.Error())
+							return
+						}
+						continue
+					}
+					q := qs[i]
+					if want := fm.Precedes(q.A, clock[q.A], q.B, clock[q.B]); qr.True != want {
+						fail("Precedes(" + q.A.String() + "," + q.B.String() + ") raced to a wrong answer")
+						return
+					}
+					answered.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// The scraper renders every registered instrument — counters, the
+	// per-shard gauges, the cross-shard-wait histogram — while both planes
+	// run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				fail("WritePrometheus: " + err.Error())
+				return
+			}
+		}
+	}()
+
+	subWG.Wait()
+	m.IngestBarrier()
+	close(done)
+	wg.Wait()
+	if failure != "" {
+		t.Fatal(failure)
+	}
+	if answered.Load() == 0 {
+		t.Fatal("no queries answered during sharded ingest")
+	}
+	if st := m.Stats(300); st.Events != len(tr.Events) {
+		t.Fatalf("sharded ingest incomplete: %d of %d events", st.Events, len(tr.Events))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("collector close: %v", err)
+	}
+	t.Logf("answered %d queries concurrently with 8-shard ingest of %d events (%d cross-shard waits)",
+		answered.Load(), len(tr.Events), m.Pipeline().CrossShardWaits())
 }
 
 // TestQueryBatchSingleWatermark pins the batch-consistency fix: a QueryBatch

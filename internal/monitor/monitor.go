@@ -13,24 +13,30 @@ import (
 
 	"repro/internal/hct"
 	"repro/internal/model"
-	"repro/internal/poset"
 )
 
 // Monitor is the monitoring entity. Deliver ingests events in a valid
 // delivery order (a linear extension of the computation); Collector relaxes
 // that requirement for concurrent producers.
 //
-// Precedence queries (Precedes, Concurrent, Timestamp, QueryBatch) take no
-// lock at all: the timestamper publishes per-process watermarks after each
-// delivered event, and queries read only the immutable store prefix below
-// them (see internal/hct/store.go for the protocol). Queries therefore
-// never stall ingestion and scale across cores. Surfaces that read the
-// partial-order store or the partition (Lookup, Stats, the compound queries
-// in queries.go) still serialize against ingestion through mu.
+// Since the sharded-ingest rework the monitor is a thin façade over
+// hct.Pipeline: a sequential planner validates each event and makes every
+// cluster decision in delivery order, then hands the vector-clock math and
+// column publication to per-shard stamping lanes (see internal/hct/pipeline.go
+// for the full protocol). New builds a single-shard monitor, which stamps
+// inline on the delivering goroutine — the exact single-writer path earlier
+// revisions implemented directly. NewSharded spreads the stamping work across
+// N lanes; DeliverBatchAsync plus IngestBarrier expose the pipelined form the
+// server's collector uses.
+//
+// Precedence queries (Precedes, Concurrent, Timestamp, QueryBatch, and the
+// compound queries in queries.go) take no lock at all: each stamping lane
+// publishes per-process watermarks as it finishes events, and queries read
+// only the immutable store prefix below them (see internal/hct/store.go for
+// the protocol). Queries therefore never stall ingestion and scale across
+// cores.
 type Monitor struct {
-	mu    sync.RWMutex
-	store *poset.Store
-	ts    *hct.Timestamper
+	pipe *hct.Pipeline
 
 	// wmPool recycles watermark buffers across QueryBatch calls.
 	wmPool sync.Pool
@@ -42,53 +48,89 @@ type Monitor struct {
 }
 
 // New returns a monitor over numProcs processes with the given
-// cluster-timestamp configuration.
+// cluster-timestamp configuration. The monitor stamps on the delivering
+// goroutine (one ingest shard); use NewSharded to spread stamping across
+// cores.
 func New(numProcs int, cfg hct.Config) (*Monitor, error) {
-	ts, err := hct.NewTimestamper(numProcs, cfg)
+	return NewSharded(numProcs, cfg, 1)
+}
+
+// NewSharded returns a monitor whose delivery path is split across the given
+// number of ingest shards (≤0 selects GOMAXPROCS). Each shard owns a
+// contiguous — or, when the configuration carries a static partition,
+// cluster-aligned — block of processes and stamps their events on its own
+// goroutine. Results are identical to New for every shard count; only the
+// throughput differs. Callers that choose shards > 1 own the pipeline's
+// goroutines and must Close the monitor when done.
+func NewSharded(numProcs int, cfg hct.Config, shards int) (*Monitor, error) {
+	pipe, err := hct.NewPipeline(numProcs, cfg, hct.PipelineOptions{Shards: shards})
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{store: poset.NewStore(numProcs), ts: ts}, nil
+	return &Monitor{pipe: pipe}, nil
 }
+
+// Close shuts down the ingest shards. Queries against already-delivered
+// state remain valid; further deliveries fail.
+func (m *Monitor) Close() { m.pipe.Close() }
+
+// Pipeline exposes the underlying ingest pipeline for telemetry surfaces
+// (shard counters, cross-shard-wait observation).
+func (m *Monitor) Pipeline() *hct.Pipeline { return m.pipe }
+
+// IngestShards returns the number of ingest shards.
+func (m *Monitor) IngestShards() int { return m.pipe.IngestShards() }
 
 // NumProcs returns the number of monitored processes.
 func (m *Monitor) NumProcs() int {
-	return m.store.NumProcs()
+	return m.pipe.NumProcs()
 }
 
-// Deliver ingests the next event in delivery order: it is appended to the
-// partial-order store and timestamped.
+// Deliver ingests the next event in delivery order and waits until it is
+// stamped and published (or rejected).
 func (m *Monitor) Deliver(e model.Event) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, err := m.store.Append(e); err != nil {
-		return err
-	}
-	return m.ts.Ingest(e)
+	err := m.pipe.DispatchOne(e)
+	m.pipe.Barrier()
+	return err
 }
 
-// DeliverBatch ingests a run of events in delivery order under a single
-// acquisition of the monitor lock. This is the fast path behind batched
-// network ingestion: the per-event cost collapses to the store append and
-// timestamp observation, with the lock (and its cache traffic) amortized
-// over the whole run. On error the events before the failing one remain
-// delivered.
+// DeliverBatch ingests a run of events in delivery order and waits for the
+// whole run to be stamped and published. This is the fast path behind
+// batched network ingestion: the planner cost collapses to validation and
+// cluster bookkeeping, with the vector math spread across the ingest
+// shards (inline on this goroutine for a single-shard monitor). On error
+// the events before the failing one remain delivered.
 func (m *Monitor) DeliverBatch(events []model.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, e := range events {
-		if _, err := m.store.Append(e); err != nil {
-			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
-		}
-		if err := m.ts.Ingest(e); err != nil {
-			return fmt.Errorf("monitor: at %v: %w", e.ID, err)
-		}
+	err := m.pipe.Dispatch(events)
+	m.pipe.Barrier()
+	if err != nil {
+		return fmt.Errorf("monitor: %w", err)
 	}
 	return nil
 }
+
+// DeliverBatchAsync ingests a run without waiting for the stamping lanes to
+// drain: when it returns, the run is validated and every cluster decision
+// is made, but timestamps may still be in flight. Queries observe them as
+// the per-process watermarks advance; IngestBarrier waits for everything
+// dispatched so far. This is the pipelined form — the caller can overlap
+// assembling (and journaling) the next run with stamping the current one.
+func (m *Monitor) DeliverBatchAsync(events []model.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := m.pipe.Dispatch(events); err != nil {
+		return fmt.Errorf("monitor: %w", err)
+	}
+	return nil
+}
+
+// IngestBarrier blocks until every event dispatched before the call has
+// been stamped and published. A no-op on a single-shard monitor.
+func (m *Monitor) IngestBarrier() { m.pipe.Barrier() }
 
 // DeliverAll ingests a whole trace.
 func (m *Monitor) DeliverAll(t *model.Trace) error {
@@ -100,59 +142,45 @@ func (m *Monitor) DeliverAll(t *model.Trace) error {
 // write-ahead log yields the recovered frontier, letting a Collector resume
 // the stream exactly where the durable state left off.
 func (m *Monitor) frontierNext() []model.EventIndex {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	next := make([]model.EventIndex, m.store.NumProcs())
-	for p := range next {
-		next[p] = 1
-		if n := m.store.Frontier(model.ProcessID(p)); n != nil {
-			next[p] = n.Event.ID.Index + 1
-		}
-	}
-	return next
+	return m.pipe.FrontierNext()
 }
 
 // pendingSendTargets returns, for each delivered send whose receive has not
 // yet been delivered, the receive it targets. It seeds a resuming
 // Collector's in-flight message table.
 func (m *Monitor) pendingSendTargets() map[model.EventID]model.EventID {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make(map[model.EventID]model.EventID, m.store.PendingSends())
-	m.store.EachPendingSend(func(e model.Event) {
-		out[e.ID] = e.Partner
-	})
-	return out
+	return m.pipe.PendingSendTargets()
 }
 
 // Precedes answers a happened-before query from the stored cluster
 // timestamps. It takes no lock and never blocks (or is blocked by)
 // ingestion.
 func (m *Monitor) Precedes(e, f model.EventID) (bool, error) {
-	return m.ts.Precedes(e, f)
+	return m.pipe.Precedes(e, f)
 }
 
 // Concurrent reports whether two events are concurrent. Lock-free, like
 // Precedes.
 func (m *Monitor) Concurrent(e, f model.EventID) (bool, error) {
-	return m.ts.Concurrent(e, f)
+	return m.pipe.Concurrent(e, f)
 }
 
 // Timestamp returns the stored timestamp of an event. Lock-free; the
 // returned timestamp is immutable.
 func (m *Monitor) Timestamp(id model.EventID) (*hct.Timestamp, bool) {
-	return m.ts.Timestamp(id)
+	return m.pipe.Timestamp(id)
 }
 
-// Lookup fetches an event from the partial-order store by ID.
+// Lookup fetches a delivered event by ID, reconstructed from its published
+// timestamp. Lock-free: an event is visible once its stamp is published,
+// so under DeliverBatchAsync a just-dispatched event may briefly report
+// absent (IngestBarrier closes the window).
 func (m *Monitor) Lookup(id model.EventID) (model.Event, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	n, ok := m.store.Get(id)
+	t, ok := m.pipe.Timestamp(id)
 	if !ok {
 		return model.Event{}, false
 	}
-	return n.Event, true
+	return model.Event{ID: t.ID, Kind: t.Kind, Partner: t.Partner}, true
 }
 
 // GreatestConcurrent... and richer query surfaces live with the callers;
@@ -167,27 +195,24 @@ type Stats struct {
 	PendingSends    int
 }
 
-// Stats returns a snapshot of the monitor's accounting. Every field —
-// including StorageInts, which earlier revisions computed by walking the
-// whole timestamp store — is O(1) to read, so the lock hold is constant
+// Stats returns a snapshot of the monitor's accounting. Every field is O(1)
+// to read from the planner's bookkeeping, so the cost is constant
 // regardless of store size.
 func (m *Monitor) Stats(fixedVector int) Stats {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return Stats{
-		Events:          m.ts.Events(),
-		ClusterReceives: m.ts.ClusterReceives(),
-		MergedReceives:  m.ts.MergedClusterReceives(),
-		LiveClusters:    m.ts.Partition().NumLive(),
-		MaxLiveCluster:  m.ts.Partition().MaxLiveSize(),
-		StorageInts:     m.ts.StorageInts(fixedVector),
-		PendingSends:    m.store.PendingSends(),
+		Events:          m.pipe.Events(),
+		ClusterReceives: m.pipe.ClusterReceives(),
+		MergedReceives:  m.pipe.MergedClusterReceives(),
+		LiveClusters:    m.pipe.NumLive(),
+		MaxLiveCluster:  m.pipe.MaxLiveSize(),
+		StorageInts:     m.pipe.StorageInts(fixedVector),
+		PendingSends:    m.pipe.PendingSends(),
 	}
 }
 
 // Accounting is the cheap subset of Stats: every field is O(1) to read (no
 // walk over the stored timestamps), so live gauges can sample it on every
-// scrape without holding the monitor lock for long.
+// scrape without stalling ingestion for long.
 type Accounting struct {
 	Events          int
 	ClusterReceives int
@@ -200,16 +225,14 @@ type Accounting struct {
 
 // Accounting returns the O(1) accounting snapshot.
 func (m *Monitor) Accounting() Accounting {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return Accounting{
-		Events:          m.ts.Events(),
-		ClusterReceives: m.ts.ClusterReceives(),
-		MergedReceives:  m.ts.MergedClusterReceives(),
-		LiveClusters:    m.ts.Partition().NumLive(),
-		MaxLiveCluster:  m.ts.Partition().MaxLiveSize(),
-		Merges:          m.ts.Merges(),
-		MaxClusterSize:  m.ts.MaxClusterSize(),
+		Events:          m.pipe.Events(),
+		ClusterReceives: m.pipe.ClusterReceives(),
+		MergedReceives:  m.pipe.MergedClusterReceives(),
+		LiveClusters:    m.pipe.NumLive(),
+		MaxLiveCluster:  m.pipe.MaxLiveSize(),
+		Merges:          m.pipe.Merges(),
+		MaxClusterSize:  m.pipe.MaxClusterSize(),
 	}
 }
 
@@ -245,9 +268,7 @@ func (m *Monitor) ClusterSizes() map[int]int {
 func (m *Monitor) ClusterSizesInto(out map[int]int) {
 	m.sizesMu.Lock()
 	defer m.sizesMu.Unlock()
-	m.mu.RLock()
-	m.sizesBuf = m.ts.Partition().LiveSizesInto(m.sizesBuf[:0])
-	m.mu.RUnlock()
+	m.sizesBuf = m.pipe.LiveSizesInto(m.sizesBuf[:0])
 	clear(out)
 	for _, s := range m.sizesBuf {
 		out[s]++
@@ -258,7 +279,7 @@ func (m *Monitor) ClusterSizesInto(out map[int]int) {
 // hct.Timestamper.QueryPathCounts). The counters are atomic, so no lock is
 // taken.
 func (m *Monitor) QueryPathCounts() (direct, routed int64) {
-	return m.ts.QueryPathCounts()
+	return m.pipe.QueryPathCounts()
 }
 
 // ErrClosed is returned by Collector.Submit after Close.
@@ -292,6 +313,19 @@ type QueryResult struct {
 // queries themselves.
 const queryBatchParallelMin = 512
 
+// captureWatermark grabs a pooled watermark buffer and snapshots the
+// published per-process event counts into it. releaseWatermark returns it.
+func (m *Monitor) captureWatermark() *hct.Watermark {
+	wp, _ := m.wmPool.Get().(*hct.Watermark)
+	if wp == nil {
+		wp = new(hct.Watermark)
+	}
+	*wp = m.pipe.CaptureWatermark(*wp)
+	return wp
+}
+
+func (m *Monitor) releaseWatermark(wp *hct.Watermark) { m.wmPool.Put(wp) }
+
 // QueryBatch answers a batch of precedence queries. The whole batch is
 // evaluated against a single watermark captured up front, so every answer
 // reflects one store state even while ingestion runs — earlier revisions
@@ -301,15 +335,11 @@ const queryBatchParallelMin = 512
 // RLock acquisitions, and concurrent DeliverBatch calls proceed untouched.
 func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
 	out := make([]QueryResult, len(qs))
-	wp, _ := m.wmPool.Get().(*hct.Watermark)
-	if wp == nil {
-		wp = new(hct.Watermark)
-	}
-	*wp = m.ts.CaptureWatermark(*wp)
+	wp := m.captureWatermark()
 	w := *wp
 	if len(qs) < queryBatchParallelMin {
 		m.queryRange(qs, out, w)
-		m.wmPool.Put(wp)
+		m.releaseWatermark(wp)
 		return out
 	}
 	shards := runtime.GOMAXPROCS(0)
@@ -330,7 +360,7 @@ func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
 		}(lo, hi)
 	}
 	wg.Wait()
-	m.wmPool.Put(wp)
+	m.releaseWatermark(wp)
 	return out
 }
 
@@ -340,9 +370,9 @@ func (m *Monitor) queryRange(qs []Query, res []QueryResult, w hct.Watermark) {
 	for i, q := range qs {
 		switch q.Op {
 		case OpPrecedes:
-			res[i].True, res[i].Err = m.ts.PrecedesAt(q.A, q.B, w)
+			res[i].True, res[i].Err = m.pipe.PrecedesAt(q.A, q.B, w)
 		case OpConcurrent:
-			res[i].True, res[i].Err = m.ts.ConcurrentAt(q.A, q.B, w)
+			res[i].True, res[i].Err = m.pipe.ConcurrentAt(q.A, q.B, w)
 		default:
 			res[i].Err = fmt.Errorf("monitor: unknown query op %d", q.Op)
 		}

@@ -3,6 +3,7 @@ package monitor
 import (
 	"fmt"
 
+	"repro/internal/hct"
 	"repro/internal/model"
 )
 
@@ -13,6 +14,11 @@ import (
 // virtual-memory pages. Under cluster timestamps the per-pair precedence
 // test is cheap, and the compound queries below reduce to a logarithmic
 // number of such tests per process.
+//
+// Like Precedes and QueryBatch, the compound queries are shard-safe without
+// locks: each call captures the published per-process watermarks once and
+// evaluates every probe against that cut, so the answer reflects a single
+// consistent store state even while the ingest shards keep publishing.
 
 // CutEntry describes one process's position in a causal cut relative to a
 // query event: the index of the relevant event, or 0 if no event of that
@@ -22,26 +28,18 @@ type CutEntry struct {
 	Index   model.EventIndex
 }
 
-// eventCount returns the number of delivered events of process q.
-func (m *Monitor) eventCount(q model.ProcessID) model.EventIndex {
-	n := m.store.Frontier(q)
-	if n == nil {
-		return 0
-	}
-	return n.Event.ID.Index
-}
-
 // GreatestPredecessors returns, for each process, the latest event that
 // happened before e (index 0 when none). Entry pe reports e's own
 // in-process predecessor. This is the causal past's frontier — the cut a
 // visualization tool draws when the user selects an event.
 func (m *Monitor) GreatestPredecessors(e model.EventID) ([]CutEntry, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if _, ok := m.ts.Timestamp(e); !ok {
+	wp := m.captureWatermark()
+	defer m.releaseWatermark(wp)
+	w := *wp
+	if _, ok := m.pipe.TimestampAt(e, w); !ok {
 		return nil, fmt.Errorf("monitor: GreatestPredecessors: unknown event %v", e)
 	}
-	out := make([]CutEntry, m.store.NumProcs())
+	out := make([]CutEntry, m.pipe.NumProcs())
 	for q := range out {
 		qp := model.ProcessID(q)
 		out[q].Process = qp
@@ -49,8 +47,8 @@ func (m *Monitor) GreatestPredecessors(e model.EventID) ([]CutEntry, error) {
 			out[q].Index = e.Index - 1
 			continue
 		}
-		idx, err := m.latestSatisfying(qp, func(g model.EventID) (bool, error) {
-			return m.ts.Precedes(g, e)
+		idx, err := m.latestSatisfying(qp, w, func(g model.EventID) (bool, error) {
+			return m.pipe.PrecedesAt(g, e, w)
 		})
 		if err != nil {
 			return nil, err
@@ -63,12 +61,13 @@ func (m *Monitor) GreatestPredecessors(e model.EventID) ([]CutEntry, error) {
 // GreatestConcurrent returns, for each process, the latest event concurrent
 // with e (index 0 when none) — the paper's motivating query.
 func (m *Monitor) GreatestConcurrent(e model.EventID) ([]CutEntry, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	if _, ok := m.ts.Timestamp(e); !ok {
+	wp := m.captureWatermark()
+	defer m.releaseWatermark(wp)
+	w := *wp
+	if _, ok := m.pipe.TimestampAt(e, w); !ok {
 		return nil, fmt.Errorf("monitor: GreatestConcurrent: unknown event %v", e)
 	}
-	out := make([]CutEntry, m.store.NumProcs())
+	out := make([]CutEntry, m.pipe.NumProcs())
 	for q := range out {
 		qp := model.ProcessID(q)
 		out[q].Process = qp
@@ -78,8 +77,8 @@ func (m *Monitor) GreatestConcurrent(e model.EventID) ([]CutEntry, error) {
 		}
 		// Last event of q that e does NOT precede. Events beyond it are
 		// all causal successors of e.
-		lastNotAfter, err := m.latestSatisfying(qp, func(g model.EventID) (bool, error) {
-			after, err := m.ts.Precedes(e, g)
+		lastNotAfter, err := m.latestSatisfying(qp, w, func(g model.EventID) (bool, error) {
+			after, err := m.pipe.PrecedesAt(e, g, w)
 			return !after, err
 		})
 		if err != nil {
@@ -90,7 +89,7 @@ func (m *Monitor) GreatestConcurrent(e model.EventID) ([]CutEntry, error) {
 		}
 		// That event is concurrent iff it is not a predecessor of e.
 		g := model.EventID{Process: qp, Index: lastNotAfter}
-		before, err := m.ts.Precedes(g, e)
+		before, err := m.pipe.PrecedesAt(g, e, w)
 		if err != nil {
 			return nil, err
 		}
@@ -101,12 +100,13 @@ func (m *Monitor) GreatestConcurrent(e model.EventID) ([]CutEntry, error) {
 	return out, nil
 }
 
-// latestSatisfying binary-searches process q's events for the largest index
-// whose event satisfies pred, assuming pred is downward-closed on the
-// process order (if event k satisfies it, so do all earlier events). It
-// returns 0 when no event qualifies.
-func (m *Monitor) latestSatisfying(q model.ProcessID, pred func(model.EventID) (bool, error)) (model.EventIndex, error) {
-	lo, hi := model.EventIndex(0), m.eventCount(q) // invariant: lo satisfies (or 0), hi+1 does not
+// latestSatisfying binary-searches process q's published events for the
+// largest index whose event satisfies pred, assuming pred is downward-closed
+// on the process order (if event k satisfies it, so do all earlier events).
+// The search range is bounded by the captured watermark, so every probe hits
+// a published timestamp. It returns 0 when no event qualifies.
+func (m *Monitor) latestSatisfying(q model.ProcessID, w hct.Watermark, pred func(model.EventID) (bool, error)) (model.EventIndex, error) {
+	lo, hi := model.EventIndex(0), model.EventIndex(w[q]) // invariant: lo satisfies (or 0), hi+1 does not
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		ok, err := pred(model.EventID{Process: q, Index: mid})

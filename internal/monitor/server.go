@@ -134,6 +134,12 @@ func NewServer(m *Monitor, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	collector := NewCollector(m)
 	collector.journal = cfg.Journal
+	// The server runs the collector in pipelined mode: flush dispatches each
+	// run to the monitor's ingest shards without waiting for the stamps to
+	// publish, so the ingest worker immediately returns to draining the
+	// submit queue. Query surfaces issue IngestBarrier first, preserving
+	// the v1/v2 guarantee that an acknowledged event is queryable.
+	collector.pipelined = true
 	s := &Server{
 		monitor:   m,
 		collector: collector,
@@ -146,6 +152,9 @@ func NewServer(m *Monitor, cfg ServerConfig) *Server {
 	if s.obs != nil {
 		collector.deliverHist = s.obs.DeliverBatch
 		collector.runHist = s.obs.RunEvents
+		if s.obs.CrossShardWait != nil {
+			m.Pipeline().SetWaitObserver(s.obs.CrossShardWait)
+		}
 		if s.obs.Registry != nil {
 			s.registerMetrics(s.obs.Registry)
 		}
@@ -348,6 +357,9 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR bad event id", false
 		}
+		// An acknowledged event must be queryable: wait out any stamps
+		// still in flight in the ingest shards before answering.
+		s.monitor.IngestBarrier()
 		var queryStart time.Time
 		if s.obs != nil {
 			queryStart = time.Now()
@@ -384,8 +396,9 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 }
 
 // statsBody renders the shared STATS payload: monitor accounting, collector
-// backlog, the throughput counters with their rates since start, and — when
-// a write-ahead journal is attached — the journal's durability counters.
+// backlog, the throughput counters with their rates since start, the ingest
+// shard layout with per-shard event tallies, and — when a write-ahead
+// journal is attached — the journal's durability counters.
 func (s *Server) statsBody() string {
 	st := s.monitor.Stats(s.cfg.FixedVector)
 	snap := s.counters.Snapshot()
@@ -393,6 +406,11 @@ func (s *Server) statsBody() string {
 	body := fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f",
 		st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts,
 		snap, rates.EventsPerSec, rates.QueriesPerSec)
+	pipe := s.monitor.Pipeline()
+	body += fmt.Sprintf(" shards=%d xwaits=%d", pipe.IngestShards(), pipe.CrossShardWaits())
+	for i, n := range pipe.ShardEventsInto(nil) {
+		body += fmt.Sprintf(" shard%d=%d", i, n)
+	}
 	if s.cfg.Journal != nil {
 		body += " " + s.cfg.Journal.Stats()
 	}
@@ -471,6 +489,9 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
 				continue
 			}
+			// As on the v1 path: acknowledged events must be visible to
+			// this frame's queries, so drain the in-flight stamps first.
+			s.monitor.IngestBarrier()
 			var queryStart time.Time
 			if s.obs != nil {
 				queryStart = time.Now()
@@ -643,5 +664,6 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	close(s.submitQ) // connections are gone; the worker drains and exits
 	s.ingestWG.Wait()
+	s.monitor.IngestBarrier() // publish everything the collector dispatched
 	return s.collector.Close()
 }

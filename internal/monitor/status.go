@@ -38,6 +38,32 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("poetd_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
+	// Ingest-shard instruments. The per-shard tally reuses its snapshot
+	// buffer and label strings across scrapes, like the cluster-size vector.
+	pipe := s.monitor.Pipeline()
+	reg.GaugeFunc("poetd_ingest_shards", "Configured ingest shards (stamping lanes).",
+		func() float64 { return float64(pipe.IngestShards()) })
+	counter("poetd_cross_shard_waits_total",
+		"Cross-shard rendezvous waits that actually blocked a stamping lane.",
+		pipe.CrossShardWaits)
+	var shardBuf []uint64
+	shardVals := make(map[string]float64)
+	shardLabels := make(map[int]string)
+	reg.GaugeVecFunc("poetd_ingest_shard_events_total", "Events dispatched to each ingest shard.", "shard",
+		func() map[string]float64 {
+			shardBuf = pipe.ShardEventsInto(shardBuf)
+			clear(shardVals)
+			for i, n := range shardBuf {
+				lbl, ok := shardLabels[i]
+				if !ok {
+					lbl = strconv.Itoa(i)
+					shardLabels[i] = lbl
+				}
+				shardVals[lbl] = float64(n)
+			}
+			return shardVals
+		})
+
 	// The paper's Section 4 metrics as live instruments.
 	m := s.monitor
 	fixed := s.cfg.FixedVector
@@ -162,12 +188,13 @@ func (s *Server) Status() ServerStatus {
 	}
 	if o := s.obs; o != nil {
 		st.Latency = map[string]obs.DurationSummary{
-			"ingest_batch":  o.IngestBatch.DurationSummary(),
-			"deliver_batch": o.DeliverBatch.DurationSummary(),
-			"query_batch":   o.QueryBatch.DurationSummary(),
-			"decode_frame":  o.DecodeFrame.DurationSummary(),
-			"wal_append":    o.WALAppend.DurationSummary(),
-			"wal_fsync":     o.WALFsync.DurationSummary(),
+			"ingest_batch":     o.IngestBatch.DurationSummary(),
+			"deliver_batch":    o.DeliverBatch.DurationSummary(),
+			"query_batch":      o.QueryBatch.DurationSummary(),
+			"decode_frame":     o.DecodeFrame.DurationSummary(),
+			"wal_append":       o.WALAppend.DurationSummary(),
+			"wal_fsync":        o.WALFsync.DurationSummary(),
+			"cross_shard_wait": o.CrossShardWait.DurationSummary(),
 		}
 	}
 	return st

@@ -26,14 +26,15 @@ const DefaultTraceCap = 512
 type Telemetry struct {
 	Registry *Registry
 
-	IngestBatch  *Histogram // SubmitBatch end to end (validate, drain, journal, deliver)
-	DeliverBatch *Histogram // Monitor.DeliverBatch within a collector flush
-	QueryBatch   *Histogram // Monitor.QueryBatch / one v1 query line
-	DecodeFrame  *Histogram // v2 payload decode / v1 EVENT line parse
-	WALAppend    *Histogram // wal.Log.Append end to end
-	WALFsync     *Histogram // the fsync syscall inside a group commit
-	WALSnapshot  *Histogram // one snapshot compaction
-	RunEvents    *Histogram // events per delivered run (size histogram)
+	IngestBatch    *Histogram // SubmitBatch end to end (validate, drain, journal, deliver)
+	DeliverBatch   *Histogram // dispatch of one delivered run into the ingest pipeline
+	QueryBatch     *Histogram // Monitor.QueryBatch / one v1 query line
+	DecodeFrame    *Histogram // v2 payload decode / v1 EVENT line parse
+	WALAppend      *Histogram // wal.Log.Append end to end
+	WALFsync       *Histogram // the fsync syscall inside a group commit
+	WALSnapshot    *Histogram // one snapshot compaction
+	RunEvents      *Histogram // events per delivered run (size histogram)
+	CrossShardWait *Histogram // time an ingest shard blocked on a cross-shard rendezvous
 
 	Ops *TraceRing
 
@@ -47,16 +48,17 @@ type Telemetry struct {
 // daemon's canonical metric names.
 func NewTelemetry(reg *Registry) *Telemetry {
 	return &Telemetry{
-		Registry:     reg,
-		IngestBatch:  reg.NewHistogram("poetd_ingest_batch_seconds", "Latency of one event batch through the collector (validate, drain, journal, deliver)."),
-		DeliverBatch: reg.NewHistogram("poetd_deliver_batch_seconds", "Latency of Monitor.DeliverBatch for one delivered run."),
-		QueryBatch:   reg.NewHistogram("poetd_query_batch_seconds", "Latency of one precedence query batch."),
-		DecodeFrame:  reg.NewHistogram("poetd_decode_frame_seconds", "Latency of decoding one v2 frame payload or parsing one v1 EVENT line."),
-		WALAppend:    reg.NewHistogram("poetd_wal_append_seconds", "Latency of one write-ahead log append (to the configured fsync policy)."),
-		WALFsync:     reg.NewHistogram("poetd_wal_fsync_seconds", "Latency of one WAL fsync syscall."),
-		WALSnapshot:  reg.NewHistogram("poetd_wal_snapshot_seconds", "Latency of one WAL snapshot compaction."),
-		RunEvents:    reg.NewSizeHistogram("poetd_run_events", "Events per run delivered to the monitor."),
-		Ops:          NewTraceRing(DefaultTraceCap),
+		Registry:       reg,
+		IngestBatch:    reg.NewHistogram("poetd_ingest_batch_seconds", "Latency of one event batch through the collector (validate, drain, journal, deliver)."),
+		DeliverBatch:   reg.NewHistogram("poetd_deliver_batch_seconds", "Latency of dispatching one delivered run into the ingest pipeline."),
+		QueryBatch:     reg.NewHistogram("poetd_query_batch_seconds", "Latency of one precedence query batch."),
+		DecodeFrame:    reg.NewHistogram("poetd_decode_frame_seconds", "Latency of decoding one v2 frame payload or parsing one v1 EVENT line."),
+		WALAppend:      reg.NewHistogram("poetd_wal_append_seconds", "Latency of one write-ahead log append (to the configured fsync policy)."),
+		WALFsync:       reg.NewHistogram("poetd_wal_fsync_seconds", "Latency of one WAL fsync syscall."),
+		WALSnapshot:    reg.NewHistogram("poetd_wal_snapshot_seconds", "Latency of one WAL snapshot compaction."),
+		RunEvents:      reg.NewSizeHistogram("poetd_run_events", "Events per run delivered to the monitor."),
+		CrossShardWait: reg.NewHistogram("poetd_cross_shard_wait_seconds", "Time an ingest shard spent blocked at a cross-shard rendezvous (receive waiting for its send's clock)."),
+		Ops:            NewTraceRing(DefaultTraceCap),
 	}
 }
 

@@ -3,6 +3,14 @@
 // the transitive reduction of the "happened before" relation, indexed by a
 // B-tree keyed on (process, event number), plus a reachability oracle used
 // by tests as ground truth for precedence.
+//
+// Since the sharded-ingest rework the store is off the monitor's hot
+// delivery path: the pipeline planner (internal/hct) performs the same
+// frontier/duplicate/pending-send validation inline, replicating this
+// package's error sentinels and messages exactly — the contract tests in
+// internal/hct/pipeline_test.go pin that equivalence. The store remains the
+// reference implementation of that contract, the reachability oracle for
+// differential tests, and the backing structure for offline analysis tools.
 package poset
 
 import (

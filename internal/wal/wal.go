@@ -11,6 +11,14 @@
 // one sealed file, after which the older segments and snapshot are deleted
 // and recovery replays snapshot + WAL tail only. See format.go for the
 // byte-level layout and crash-window analysis.
+//
+// Sharded ingest does not change the journal-ordering contract: the
+// collector appends each run here before dispatching it to the stamping
+// lanes, and the pipeline planner accepts runs in that same order, so the
+// durable log is always a run-atomic prefix of what the pipeline has
+// accepted — even while the lanes are still stamping asynchronously.
+// Replay drives Monitor.DeliverBatch, which barriers per run, so recovery
+// is deterministic at any shard count.
 package wal
 
 import (
