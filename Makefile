@@ -34,6 +34,12 @@ bench-json:
 		-benchtime=100x -benchmem; \
 	  go test ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkQueryParallel/ingest=false' \
+		-benchtime=20000x -benchmem; \
+	  go test ./internal/replay/ -run '^$$' \
+		-bench 'BenchmarkReplayOpen' \
+		-benchtime=10x -benchmem; \
+	  go test ./internal/replay/ -run '^$$' \
+		-bench 'BenchmarkReplayQuery' \
 		-benchtime=20000x -benchmem; } \
 		| go run ./cmd/benchjson > BENCH_query.json
 
@@ -49,3 +55,4 @@ fuzz:
 	go test -fuzz=FuzzReadText -fuzztime=30s ./internal/trace/
 	go test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/monitor/
 	go test -fuzz=FuzzServerProtocol -fuzztime=30s ./internal/monitor/
+	go test -fuzz=FuzzWALChainOpen -fuzztime=30s ./internal/wal/

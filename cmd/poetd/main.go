@@ -14,6 +14,11 @@
 //
 //	poetd -procs 300 -wal /var/lib/poetd/wal -fsync batch -snapshot-every 1048576
 //
+// A durable daemon also serves time travel: the replay plane opens the same
+// WAL directory read-only and answers QUERY@ frames (poquery -at) against
+// the store as of any recorded event count, from sealed history, without
+// touching the ingest path (DESIGN.md §12).
+//
 // Delivery is sharded: -ingest-shards stamping lanes (default GOMAXPROCS)
 // split the timestamp vector math across cores behind a sequential planner,
 // so results are identical to single-writer delivery at any shard count
@@ -75,6 +80,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/wal"
 )
@@ -115,17 +121,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := hct.Config{MaxClusterSize: *maxCS}
+	// newCfg hands out a fresh Config per call (deciders are stateful): one
+	// for the live monitor, one per replay-plane engine.
+	var newCfg func() hct.Config
 	switch *strat {
 	case "merge-1st":
-		cfg.Decider = strategy.NewMergeOnFirst()
+		newCfg = func() hct.Config {
+			return hct.Config{MaxClusterSize: *maxCS, Decider: strategy.NewMergeOnFirst()}
+		}
 	case "merge-nth":
-		cfg.Decider = strategy.NewMergeOnNth(*threshold)
+		newCfg = func() hct.Config {
+			return hct.Config{MaxClusterSize: *maxCS, Decider: strategy.NewMergeOnNth(*threshold)}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "poetd: unknown strategy %q\n", *strat)
 		os.Exit(2)
 	}
-	m, err := monitor.NewSharded(*procs, cfg, *shards)
+	m, err := monitor.NewSharded(*procs, newCfg(), *shards)
 	if err != nil {
 		fatal("monitor init failed", err)
 	}
@@ -168,6 +180,22 @@ func main() {
 		}
 	}
 
+	// A durable daemon also serves its own history: the replay plane opens
+	// the same WAL directory read-only and answers QUERY@ frames from sealed
+	// segments, never touching the ingest path.
+	var history *replay.Store
+	if *walDir != "" {
+		history, err = replay.Open(*walDir, replay.Options{
+			NumProcs:  *procs,
+			NewConfig: newCfg,
+			Obs:       tel,
+		})
+		if err != nil {
+			fatal("replay plane init failed", err)
+		}
+		logger.Info("replay plane enabled", "dir", *walDir, "recorded_events", history.Events())
+	}
+
 	srv := monitor.NewServer(m, monitor.ServerConfig{
 		FixedVector:  *fixed,
 		MaxConns:     *maxConns,
@@ -176,6 +204,7 @@ func main() {
 		IdleTimeout:  *idle,
 		WriteTimeout: *writeTO,
 		Journal:      journalOrNil(wlog),
+		History:      historyOrNil(history),
 		Obs:          tel,
 	})
 	bound, err := srv.Listen(*addr)
@@ -226,6 +255,9 @@ func main() {
 		cancel()
 	}
 	m.Close()
+	if history != nil {
+		history.Close()
+	}
 	st := m.Stats(*fixed)
 	logger.Info("final accounting",
 		"events", st.Events, "cluster_receives", st.ClusterReceives, "storage_ints", st.StorageInts)
@@ -260,4 +292,14 @@ func journalOrNil(l *wal.Log) monitor.RunJournal {
 		return nil
 	}
 	return l
+}
+
+// historyOrNil converts a possibly-nil *replay.Store into the server's
+// history interface without producing a non-nil interface around a nil
+// pointer.
+func historyOrNil(s *replay.Store) monitor.HistoryProvider {
+	if s == nil {
+		return nil
+	}
+	return s
 }

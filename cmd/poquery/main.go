@@ -19,6 +19,21 @@
 // With -load the trace is streamed to the daemon in event batches before
 // querying; when a trace is available the remote answers are additionally
 // cross-checked against a local Fidge/Mattern computation.
+//
+// Time travel: -at answers queries as of a point in recorded history — the
+// first N delivered events — instead of the present. Against a WAL
+// directory it needs no daemon at all: the replay plane opens the snapshot
+// and sealed segments read-only and restamps the prefix, so a crashed (or
+// live) daemon's history is queryable in place:
+//
+//	poquery -wal /var/lib/poetd/wal -at 50000 -e 0:1 -f 1:5
+//	poquery -wal /var/lib/poetd/wal -at latest -e 0:1 -cut
+//	poquery -wal /var/lib/poetd/wal -at 50000 -trace pvm/ring-300 -sample 50
+//
+// Against a running daemon, -at issues QUERY@ frames, answered from the
+// daemon's replay plane (requires poetd -wal):
+//
+//	poquery -addr 127.0.0.1:7777 -at 50000 -e 0:1 -f 1:5
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/poset"
+	"repro/internal/replay"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -47,6 +63,8 @@ func main() {
 		in        = flag.String("in", "", "binary trace file")
 		traceName = flag.String("trace", "", "corpus computation to generate")
 		addr      = flag.String("addr", "", "query a running poetd at this address instead of a local monitor")
+		walDir    = flag.String("wal", "", "answer from this WAL directory's recorded history (replay plane, no daemon needed)")
+		atArg     = flag.String("at", "", "time-travel cutoff: an event count, or 'latest' (with -wal or -addr)")
 		load      = flag.Bool("load", false, "with -addr: stream the trace to the daemon before querying")
 		eArg      = flag.String("e", "", "first event as proc:index")
 		fArg      = flag.String("f", "", "second event as proc:index")
@@ -69,27 +87,30 @@ func main() {
 		}
 	}
 
+	newCfg, err := configFactory(*maxCS, *strat, *threshold)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *walDir != "" {
+		runReplay(*walDir, tr, newCfg, *atArg, *eArg, *fArg, *sample, *seed, *cut)
+		return
+	}
 	if *addr != "" {
-		runRemote(*addr, tr, *load, *eArg, *fArg, *sample, *seed, *cut, *watch, *watchN)
+		runRemote(*addr, tr, *load, *atArg, *eArg, *fArg, *sample, *seed, *cut, *watch, *watchN)
 		return
 	}
 	if *watch > 0 {
 		fatal(fmt.Errorf("-watch requires -addr"))
 	}
+	if *atArg != "" {
+		fatal(fmt.Errorf("-at requires -wal or -addr"))
+	}
 	if tr == nil {
 		fatal(fmt.Errorf("need -in or -trace"))
 	}
 
-	cfg := hct.Config{MaxClusterSize: *maxCS}
-	switch *strat {
-	case "merge-1st":
-		cfg.Decider = strategy.NewMergeOnFirst()
-	case "merge-nth":
-		cfg.Decider = strategy.NewMergeOnNth(*threshold)
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strat))
-	}
-	m, err := monitor.New(tr.NumProcs, cfg)
+	m, err := monitor.New(tr.NumProcs, newCfg())
 	if err != nil {
 		fatal(err)
 	}
@@ -179,9 +200,164 @@ func main() {
 	}
 }
 
+// configFactory builds the cluster-timestamp configuration factory for the
+// strategy flags. A fresh Config (with a fresh, stateful decider) is handed
+// out per call, so one factory can configure both a live monitor and the
+// replay plane's engines.
+func configFactory(maxCS int, strat string, threshold float64) (func() hct.Config, error) {
+	switch strat {
+	case "merge-1st":
+		return func() hct.Config {
+			return hct.Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnFirst()}
+		}, nil
+	case "merge-nth":
+		return func() hct.Config {
+			return hct.Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnNth(threshold)}
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", strat)
+}
+
+// parseCutoff maps the -at flag onto a replay cutoff.
+func parseCutoff(s string) (uint64, error) {
+	if s == "" || s == "latest" {
+		return replay.CutoffLatest, nil
+	}
+	c, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -at %q: want an event count or 'latest'", s)
+	}
+	return c, nil
+}
+
+// runReplay serves the -wal mode: queries are answered from recorded history
+// with no daemon involved — the replay plane opens the WAL chain read-only
+// and materializes the store as of the cutoff. When a trace is available its
+// Fidge/Mattern clocks validate the replayed answers (valid at any cutoff:
+// an event's Fidge/Mattern clock depends only on its causal past, which the
+// replayed prefix contains in full).
+func runReplay(dir string, tr *model.Trace, newCfg func() hct.Config, atArg, eArg, fArg string, sample int, seed int64, cut bool) {
+	cutoff, err := parseCutoff(atArg)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := replay.Open(dir, replay.Options{NewConfig: newCfg})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	v, err := st.ViewAt(cutoff)
+	if err != nil {
+		fatal(err)
+	}
+	stats := v.Stats(metrics.DefaultFixedVector)
+	fmt.Printf("replay view at cutoff %d of %d recorded events (procs=%d crs=%d clusters=%d storage=%d)\n",
+		v.Cutoff(), st.Events(), v.NumProcs(), stats.ClusterReceives, stats.LiveClusters, stats.StorageInts)
+
+	var fmClock map[model.EventID]vclock.Clock
+	if tr != nil {
+		if fmClock, err = stampClocks(tr); err != nil {
+			fatal(err)
+		}
+	}
+	query := func(e, f model.EventID) error {
+		got, err := v.Precedes(e, f)
+		if err != nil {
+			return err
+		}
+		rel := "concurrent with"
+		if got {
+			rel = "happened before"
+		} else if back, _ := v.Precedes(f, e); back {
+			rel = "happened after"
+		}
+		if fmClock != nil {
+			wantFM := fm.Precedes(e, fmClock[e], f, fmClock[f])
+			fmt.Printf("%v %s %v   [replay=%v fidge-mattern=%v]\n", e, rel, f, got, wantFM)
+			if got != wantFM {
+				return fmt.Errorf("DISAGREEMENT on (%v,%v)", e, f)
+			}
+		} else {
+			fmt.Printf("%v %s %v\n", e, rel, f)
+		}
+		return nil
+	}
+
+	if sample > 0 {
+		wm := v.Watermark()
+		r := rand.New(rand.NewSource(seed))
+		draw := func() (model.EventID, bool) {
+			// Draw uniformly from the events the view actually holds.
+			for try := 0; try < 4*len(wm); try++ {
+				p := r.Intn(len(wm))
+				if wm[p] == 0 {
+					continue
+				}
+				return model.EventID{Process: model.ProcessID(p), Index: model.EventIndex(1 + r.Int31n(wm[p]))}, true
+			}
+			return model.EventID{}, false
+		}
+		answered := 0
+		for i := 0; i < sample; i++ {
+			e, ok1 := draw()
+			f, ok2 := draw()
+			if !ok1 || !ok2 {
+				break
+			}
+			if err := query(e, f); err != nil {
+				fatal(err)
+			}
+			answered++
+		}
+		if fmClock != nil {
+			fmt.Printf("%d sampled queries answered from history, all agree with Fidge/Mattern\n", answered)
+		} else {
+			fmt.Printf("%d sampled queries answered from history\n", answered)
+		}
+		return
+	}
+
+	e, err := parseID(eArg)
+	if err != nil {
+		fatal(err)
+	}
+	if cut {
+		preds, err := v.GreatestPredecessors(e)
+		if err != nil {
+			fatal(err)
+		}
+		conc, err := v.GreatestConcurrent(e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("causal cuts around %v as of event %d:\n", e, v.Cutoff())
+		fmt.Printf("%-8s %-22s %-22s\n", "process", "greatest predecessor", "greatest concurrent")
+		for q := range preds {
+			pr, co := "-", "-"
+			if preds[q].Index > 0 {
+				pr = fmt.Sprintf("p%d:%d", q, preds[q].Index)
+			}
+			if conc[q].Index > 0 {
+				co = fmt.Sprintf("p%d:%d", q, conc[q].Index)
+			}
+			fmt.Printf("%-8d %-22s %-22s\n", q, pr, co)
+		}
+		return
+	}
+	f, err := parseID(fArg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := query(e, f); err != nil {
+		fatal(err)
+	}
+}
+
 // runRemote serves the -addr mode: the daemon answers, and when a trace is
 // available locally its Fidge/Mattern clocks validate the remote answers.
-func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sample int, seed int64, cut bool, watch time.Duration, watchN int) {
+// With -at the queries are QUERY@ frames, answered by the daemon's replay
+// plane as of the cutoff instead of the live store.
+func runRemote(addr string, tr *model.Trace, load bool, atArg, eArg, fArg string, sample int, seed int64, cut bool, watch time.Duration, watchN int) {
 	if cut {
 		fatal(fmt.Errorf("-cut requires a local monitor (drop -addr)"))
 	}
@@ -217,6 +393,27 @@ func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sampl
 		return
 	}
 
+	// precedes is the remote query primitive: the live store by default, the
+	// replay plane (QUERY@) when a cutoff was requested.
+	precedes := sess.Precedes
+	if atArg != "" {
+		cutoff, err := parseCutoff(atArg)
+		if err != nil {
+			fatal(err)
+		}
+		c2, ok := sess.(*monitor.ClientV2)
+		if !ok {
+			fatal(fmt.Errorf("-at needs a protocol v2 server (QUERY@ frames)"))
+		}
+		precedes = func(e, f model.EventID) (bool, error) {
+			res, err := c2.QueryBatchAt(cutoff, []monitor.Query{{Op: monitor.OpPrecedes, A: e, B: f}})
+			if err != nil {
+				return false, err
+			}
+			return res[0].True, res[0].Err
+		}
+	}
+
 	var fmClock map[model.EventID]vclock.Clock
 	if tr != nil {
 		if fmClock, err = stampClocks(tr); err != nil {
@@ -224,14 +421,14 @@ func runRemote(addr string, tr *model.Trace, load bool, eArg, fArg string, sampl
 		}
 	}
 	query := func(e, f model.EventID) error {
-		got, err := sess.Precedes(e, f)
+		got, err := precedes(e, f)
 		if err != nil {
 			return err
 		}
 		rel := "concurrent with"
 		if got {
 			rel = "happened before"
-		} else if back, _ := sess.Precedes(f, e); back {
+		} else if back, _ := precedes(f, e); back {
 			rel = "happened after"
 		}
 		if fmClock != nil {

@@ -160,6 +160,11 @@ func (ts *Timestamper) MaxClusterSize() int { return ts.cfg.MaxClusterSize }
 // Merges returns the number of cluster merges performed so far.
 func (ts *Timestamper) Merges() int { return ts.part.Merges() }
 
+// PendingSends returns the number of delivered sends whose receive has not
+// been delivered yet — the transient Fidge/Mattern state retained by the
+// central computation.
+func (ts *Timestamper) PendingSends() int { return ts.fmts.PendingSends() }
+
 // NumProcs returns the number of processes.
 func (ts *plane) NumProcs() int { return ts.numProcs }
 

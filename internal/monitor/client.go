@@ -323,6 +323,47 @@ func (c *ClientV2) QueryBatch(qs []Query) ([]QueryResult, error) {
 	return out, nil
 }
 
+// QueryBatchAt answers a batch of precedence queries against recorded
+// history as of the first cutoff events (CutoffLatest selects everything the
+// server has recorded), served by the server's replay plane. Batches larger
+// than the server's limit are split; every sub-batch carries the same
+// cutoff, so the whole call reflects one point in time.
+func (c *ClientV2) QueryBatchAt(cutoff uint64, qs []Query) ([]QueryResult, error) {
+	out := make([]QueryResult, 0, len(qs))
+	for len(qs) > 0 {
+		n := len(qs)
+		if c.maxBatch > 0 && n > c.maxBatch {
+			n = c.maxBatch
+		}
+		typ, payload, err := c.exchange(frameQueryAt, encodeQueryAtPayload(cutoff, qs[:n]))
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameResults {
+			return nil, errFromFrame(frameResults, typ, payload)
+		}
+		codes, err := decodeResultsPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(codes) != n {
+			return nil, fmt.Errorf("monitor: server answered %d of %d queries", len(codes), n)
+		}
+		for _, code := range codes {
+			switch code {
+			case resultTrue:
+				out = append(out, QueryResult{True: true})
+			case resultFalse:
+				out = append(out, QueryResult{})
+			default:
+				out = append(out, QueryResult{Err: fmt.Errorf("monitor: server rejected query")})
+			}
+		}
+		qs = qs[n:]
+	}
+	return out, nil
+}
+
 // queryOne asks a single query and surfaces its per-query error.
 func (c *ClientV2) queryOne(q Query) (bool, error) {
 	res, err := c.QueryBatch([]Query{q})

@@ -8,7 +8,6 @@ package monitor
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/hct"
@@ -36,10 +35,12 @@ import (
 // the protocol). Queries therefore never stall ingestion and scale across
 // cores.
 type Monitor struct {
-	pipe *hct.Pipeline
+	// Queries is the read-only precedence-query surface, shared with the
+	// replay plane: every query method of the monitor is a promotion from
+	// here, evaluated against the live pipeline.
+	*Queries
 
-	// wmPool recycles watermark buffers across QueryBatch calls.
-	wmPool sync.Pool
+	pipe *hct.Pipeline
 
 	// sizesMu guards sizesBuf, the reused snapshot buffer behind the
 	// cluster-size distribution scrape.
@@ -67,7 +68,7 @@ func NewSharded(numProcs int, cfg hct.Config, shards int) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Monitor{pipe: pipe}, nil
+	return &Monitor{Queries: NewQueries(pipe), pipe: pipe}, nil
 }
 
 // Close shuts down the ingest shards. Queries against already-delivered
@@ -80,11 +81,6 @@ func (m *Monitor) Pipeline() *hct.Pipeline { return m.pipe }
 
 // IngestShards returns the number of ingest shards.
 func (m *Monitor) IngestShards() int { return m.pipe.IngestShards() }
-
-// NumProcs returns the number of monitored processes.
-func (m *Monitor) NumProcs() int {
-	return m.pipe.NumProcs()
-}
 
 // Deliver ingests the next event in delivery order and waits until it is
 // stamped and published (or rejected).
@@ -150,37 +146,6 @@ func (m *Monitor) frontierNext() []model.EventIndex {
 // Collector's in-flight message table.
 func (m *Monitor) pendingSendTargets() map[model.EventID]model.EventID {
 	return m.pipe.PendingSendTargets()
-}
-
-// Precedes answers a happened-before query from the stored cluster
-// timestamps. It takes no lock and never blocks (or is blocked by)
-// ingestion.
-func (m *Monitor) Precedes(e, f model.EventID) (bool, error) {
-	return m.pipe.Precedes(e, f)
-}
-
-// Concurrent reports whether two events are concurrent. Lock-free, like
-// Precedes.
-func (m *Monitor) Concurrent(e, f model.EventID) (bool, error) {
-	return m.pipe.Concurrent(e, f)
-}
-
-// Timestamp returns the stored timestamp of an event. Lock-free; the
-// returned timestamp is immutable.
-func (m *Monitor) Timestamp(id model.EventID) (*hct.Timestamp, bool) {
-	return m.pipe.Timestamp(id)
-}
-
-// Lookup fetches a delivered event by ID, reconstructed from its published
-// timestamp. Lock-free: an event is visible once its stamp is published,
-// so under DeliverBatchAsync a just-dispatched event may briefly report
-// absent (IngestBarrier closes the window).
-func (m *Monitor) Lookup(id model.EventID) (model.Event, bool) {
-	t, ok := m.pipe.Timestamp(id)
-	if !ok {
-		return model.Event{}, false
-	}
-	return model.Event{ID: t.ID, Kind: t.Kind, Partner: t.Partner}, true
 }
 
 // GreatestConcurrent... and richer query surfaces live with the callers;
@@ -312,69 +277,3 @@ type QueryResult struct {
 // work across goroutines. Below it the goroutine handoff costs more than the
 // queries themselves.
 const queryBatchParallelMin = 512
-
-// captureWatermark grabs a pooled watermark buffer and snapshots the
-// published per-process event counts into it. releaseWatermark returns it.
-func (m *Monitor) captureWatermark() *hct.Watermark {
-	wp, _ := m.wmPool.Get().(*hct.Watermark)
-	if wp == nil {
-		wp = new(hct.Watermark)
-	}
-	*wp = m.pipe.CaptureWatermark(*wp)
-	return wp
-}
-
-func (m *Monitor) releaseWatermark(wp *hct.Watermark) { m.wmPool.Put(wp) }
-
-// QueryBatch answers a batch of precedence queries. The whole batch is
-// evaluated against a single watermark captured up front, so every answer
-// reflects one store state even while ingestion runs — earlier revisions
-// re-acquired the read lock per shard and could straddle a delivery
-// mid-batch. No lock is taken at any point: large batches shard across
-// goroutines that scale linearly with cores instead of serializing behind
-// RLock acquisitions, and concurrent DeliverBatch calls proceed untouched.
-func (m *Monitor) QueryBatch(qs []Query) []QueryResult {
-	out := make([]QueryResult, len(qs))
-	wp := m.captureWatermark()
-	w := *wp
-	if len(qs) < queryBatchParallelMin {
-		m.queryRange(qs, out, w)
-		m.releaseWatermark(wp)
-		return out
-	}
-	shards := runtime.GOMAXPROCS(0)
-	if shards > len(qs)/queryBatchParallelMin+1 {
-		shards = len(qs)/queryBatchParallelMin + 1
-	}
-	per := (len(qs) + shards - 1) / shards
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(qs); lo += per {
-		hi := lo + per
-		if hi > len(qs) {
-			hi = len(qs)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.queryRange(qs[lo:hi], out[lo:hi], w)
-		}(lo, hi)
-	}
-	wg.Wait()
-	m.releaseWatermark(wp)
-	return out
-}
-
-// queryRange answers qs into res (same length) against the captured
-// watermark w.
-func (m *Monitor) queryRange(qs []Query, res []QueryResult, w hct.Watermark) {
-	for i, q := range qs {
-		switch q.Op {
-		case OpPrecedes:
-			res[i].True, res[i].Err = m.pipe.PrecedesAt(q.A, q.B, w)
-		case OpConcurrent:
-			res[i].True, res[i].Err = m.pipe.ConcurrentAt(q.A, q.B, w)
-		default:
-			res[i].Err = fmt.Errorf("monitor: unknown query op %d", q.Op)
-		}
-	}
-}

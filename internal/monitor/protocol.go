@@ -40,6 +40,11 @@ import (
 //	               aProc u32, aIndex u32, bProc u32, bIndex u32
 //	RESULTS s->c count u32, then count result bytes
 //	               (0 false, 1 true, 2 error)
+//	QUERY@ c->s  cutoff u64, then the QUERY encoding: count u32 + records.
+//	               Answered from the replay plane's view of recorded history
+//	               as of the first `cutoff` events (cutoff 2^64-1 = latest
+//	               recorded); RESULTS come back as for QUERY. Rejected with
+//	               ERR when the server has no replay plane.
 //	STATS  c->s  empty
 //	STATSR s->c  the v1 STATS body as text ("events=... crs=...")
 //	ERR    s->c  utf-8 message           (frame rejected; connection lives)
@@ -70,6 +75,7 @@ const (
 	frameErr     byte = 0x08
 	frameQuit    byte = 0x09
 	frameBye     byte = 0x0a
+	frameQueryAt byte = 0x0b
 )
 
 // maxFramePayload is the hard framing cap. A frame claiming more than this
@@ -231,6 +237,24 @@ func decodeQueryPayload(p []byte, maxBatch int) ([]Query, error) {
 		qs = append(qs, q)
 	}
 	return qs, nil
+}
+
+// encodeQueryAtPayload serializes a QUERY@ batch: the cutoff followed by the
+// canonical QUERY encoding.
+func encodeQueryAtPayload(cutoff uint64, qs []Query) []byte {
+	b := make([]byte, 0, 8+4+len(qs)*queryRec)
+	b = binary.BigEndian.AppendUint64(b, cutoff)
+	return append(b, encodeQueryPayload(qs)...)
+}
+
+// decodeQueryAtPayload parses a QUERY@ payload.
+func decodeQueryAtPayload(p []byte, maxBatch int) (cutoff uint64, qs []Query, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("monitor: QUERY@ payload truncated")
+	}
+	cutoff = binary.BigEndian.Uint64(p)
+	qs, err = decodeQueryPayload(p[8:], maxBatch)
+	return cutoff, qs, err
 }
 
 // encodeResultsPayload serializes query answers as one code byte each.

@@ -87,6 +87,12 @@ type ServerConfig struct {
 	// appended to STATS responses. internal/wal.Log is the production
 	// implementation.
 	Journal RunJournal
+	// History, when non-nil, serves QUERY@ frames: precedence queries
+	// answered against recorded history as of an event-count cutoff, from
+	// the replay plane rather than the live store. internal/replay.Store is
+	// the production implementation. Servers without a history provider
+	// reject QUERY@ with an ERR frame.
+	History HistoryProvider
 	// Obs, when non-nil, instruments the server: ingest/query/decode
 	// latency histograms, the op-trace ring, and — when Obs.Registry is
 	// set — the throughput counters and the paper's Section 4 metrics as
@@ -94,6 +100,18 @@ type ServerConfig struct {
 	// Server (its metric names register once).
 	Obs *obs.Telemetry
 }
+
+// HistoryProvider hands out frozen query surfaces over recorded history.
+// HistoryAt materializes (or returns a cached) view of the computation as of
+// the first cutoff events; CutoffLatest (2^64-1) selects everything recorded
+// so far. Implementations must be safe for concurrent use.
+type HistoryProvider interface {
+	HistoryAt(cutoff uint64) (*Queries, error)
+}
+
+// CutoffLatest is the QUERY@ cutoff sentinel selecting the newest recorded
+// event count (mirrored by replay.CutoffLatest).
+const CutoffLatest = ^uint64(0)
 
 // Defaults for the zero ServerConfig.
 const (
@@ -501,6 +519,50 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				d := time.Since(queryStart)
 				o.QueryBatch.Observe(d)
 				o.RecordOp(obs.OpQuery, len(qs), queryStart, d, nil)
+			}
+			s.counters.QueryFrames.Add(1)
+			s.counters.QueriesAnswered.Add(int64(len(res)))
+			out <- outItem{typ: frameResults, payload: encodeResultsPayload(res)}
+		case frameQueryAt:
+			var decodeStart time.Time
+			if s.obs != nil {
+				decodeStart = time.Now()
+			}
+			cutoff, qs, err := decodeQueryAtPayload(payload, s.cfg.MaxBatch)
+			if s.obs != nil {
+				s.obs.DecodeFrame.ObserveSince(decodeStart)
+			}
+			if err != nil {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+				continue
+			}
+			if s.cfg.History == nil {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte("monitor: no replay plane attached")}
+				continue
+			}
+			// No ingest barrier: QUERY@ answers from sealed history and
+			// must never stall (or be stalled by) the live ingest path.
+			var queryStart time.Time
+			if s.obs != nil {
+				queryStart = time.Now()
+			}
+			view, err := s.cfg.History.HistoryAt(cutoff)
+			if err != nil {
+				if o := s.obs; o != nil {
+					d := time.Since(queryStart)
+					o.ReplayQuery.Observe(d)
+					o.RecordOp(obs.OpReplay, len(qs), queryStart, d, err)
+				}
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+				continue
+			}
+			res := view.QueryBatch(qs)
+			if o := s.obs; o != nil {
+				d := time.Since(queryStart)
+				o.ReplayQuery.Observe(d)
+				o.RecordOp(obs.OpReplay, len(qs), queryStart, d, nil)
 			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))

@@ -10,6 +10,7 @@ const (
 	OpIngest      = "ingest"       // one event batch through Collector.SubmitBatch
 	OpQuery       = "query"        // one query batch through Monitor.QueryBatch
 	OpWALSnapshot = "wal_snapshot" // one WAL compaction
+	OpReplay      = "replay"       // one QUERY@ batch answered from sealed history
 )
 
 // DefaultTraceCap is the default TraceRing capacity: enough to answer "the
@@ -36,6 +37,10 @@ type Telemetry struct {
 	RunEvents      *Histogram // events per delivered run (size histogram)
 	CrossShardWait *Histogram // time an ingest shard blocked on a cross-shard rendezvous
 
+	ReplayOpen        *Histogram // opening/refreshing a WAL chain for replay
+	ReplayMaterialize *Histogram // materializing a replay view at a cutoff
+	ReplayQuery       *Histogram // answering one QUERY@ batch from a replay view
+
 	Ops *TraceRing
 
 	// SlowOp, when positive, logs any recorded op at least this slow to
@@ -58,7 +63,12 @@ func NewTelemetry(reg *Registry) *Telemetry {
 		WALSnapshot:    reg.NewHistogram("poetd_wal_snapshot_seconds", "Latency of one WAL snapshot compaction."),
 		RunEvents:      reg.NewSizeHistogram("poetd_run_events", "Events per run delivered to the monitor."),
 		CrossShardWait: reg.NewHistogram("poetd_cross_shard_wait_seconds", "Time an ingest shard spent blocked at a cross-shard rendezvous (receive waiting for its send's clock)."),
-		Ops:            NewTraceRing(DefaultTraceCap),
+
+		ReplayOpen:        reg.NewHistogram("poetd_replay_open_seconds", "Latency of opening or refreshing the WAL chain behind the replay plane."),
+		ReplayMaterialize: reg.NewHistogram("poetd_replay_materialize_seconds", "Latency of materializing a replay view at a cutoff (chain scan + restamping)."),
+		ReplayQuery:       reg.NewHistogram("poetd_replay_query_seconds", "Latency of one QUERY@ batch answered from sealed history."),
+
+		Ops: NewTraceRing(DefaultTraceCap),
 	}
 }
 

@@ -1,0 +1,173 @@
+package replay_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// TestReplayWhileIngest drives the replay plane against a WAL that a live
+// monitor is appending to and compacting underneath it — the deployment
+// shape of poetd -wal serving QUERY@ while ingesting. Readers repeatedly
+// open the chain (and refresh a long-lived store), materialize the newest
+// view, and cross-check sampled precedence answers against precomputed
+// Fidge/Mattern clocks, which are delivery-order independent and therefore
+// valid at every cutoff. A torn or misread segment would surface as a
+// disagreement, an open error, or (under -race) a data race.
+func TestReplayWhileIngest(t *testing.T) {
+	tr := workload.RandomSparse(8, 3, 2000, 21)
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmClock := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		fmClock[st.Event.ID] = st.Clock
+	}
+	factory := func() hct.Config {
+		return hct.Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()}
+	}
+
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{NumProcs: tr.NumProcs, Sync: wal.SyncNever, SnapshotEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := monitor.NewSharded(tr.NumProcs, factory(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: journal + deliver the trace in small runs, with automatic
+	// snapshot compactions rotating segments underneath the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		r := rand.New(rand.NewSource(1))
+		for lo := 0; lo < len(tr.Events); {
+			hi := lo + 1 + r.Intn(40)
+			if hi > len(tr.Events) {
+				hi = len(tr.Events)
+			}
+			if err := l.Append(tr.Events[lo:hi]); err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			if err := live.DeliverBatch(tr.Events[lo:hi]); err != nil {
+				t.Errorf("DeliverBatch: %v", err)
+				return
+			}
+			lo = hi
+		}
+	}()
+
+	verify := func(v *replay.View, r *rand.Rand) {
+		wm := v.Watermark()
+		for k := 0; k < 50; k++ {
+			p1, p2 := r.Intn(len(wm)), r.Intn(len(wm))
+			if wm[p1] == 0 || wm[p2] == 0 {
+				continue
+			}
+			e := model.EventID{Process: model.ProcessID(p1), Index: model.EventIndex(1 + r.Int31n(wm[p1]))}
+			f := model.EventID{Process: model.ProcessID(p2), Index: model.EventIndex(1 + r.Int31n(wm[p2]))}
+			got, err := v.Precedes(e, f)
+			if err != nil {
+				t.Errorf("cutoff=%d: Precedes(%v,%v): %v", v.Cutoff(), e, f, err)
+				return
+			}
+			if want := fm.Precedes(e, fmClock[e], f, fmClock[f]); got != want {
+				t.Errorf("cutoff=%d: Precedes(%v,%v) = %v, Fidge/Mattern %v", v.Cutoff(), e, f, got, want)
+				return
+			}
+		}
+	}
+
+	// Reader A: fresh open every iteration (cold-start shape, exercises the
+	// open-under-compaction retry).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(2))
+		for !done.Load() {
+			st, err := replay.Open(dir, replay.Options{NumProcs: tr.NumProcs, NewConfig: factory})
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			v, err := st.ViewAt(replay.CutoffLatest)
+			if err != nil {
+				t.Errorf("ViewAt(latest): %v", err)
+				st.Close()
+				return
+			}
+			verify(v, r)
+			st.Close()
+		}
+	}()
+
+	// Reader B: one long-lived store following the daemon by refresh
+	// (poetd's own replay plane shape).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st, err := replay.Open(dir, replay.Options{NumProcs: tr.NumProcs, NewConfig: factory})
+		if err != nil {
+			t.Errorf("Open: %v", err)
+			return
+		}
+		defer st.Close()
+		r := rand.New(rand.NewSource(3))
+		for !done.Load() {
+			v, err := st.ViewAt(replay.CutoffLatest)
+			if err != nil {
+				t.Errorf("ViewAt(latest): %v", err)
+				return
+			}
+			verify(v, r)
+		}
+	}()
+
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the full history must replay to the complete
+	// computation.
+	st, err := replay.Open(dir, replay.Options{NumProcs: tr.NumProcs, NewConfig: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Events() != uint64(len(tr.Events)) {
+		t.Fatalf("final chain records %d events, want %d", st.Events(), len(tr.Events))
+	}
+	v, err := st.ViewAt(replay.CutoffLatest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.IngestBarrier()
+	for _, e := range tr.Events {
+		want, okL := live.Timestamp(e.ID)
+		got, okR := v.Timestamp(e.ID)
+		if okL != okR || (okL && !sameTimestamp(got, want)) {
+			t.Fatalf("final Timestamp(%v): replay (%v,%v) vs live (%v,%v)", e.ID, got, okR, want, okL)
+		}
+	}
+}

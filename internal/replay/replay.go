@@ -1,0 +1,393 @@
+// Package replay is the time-travel query plane: it materializes the
+// monitor's columnar timestamp store as of any point in recorded history and
+// serves the full precedence-query surface against that point, without
+// touching (or needing) the live ingest path.
+//
+// The input is a write-ahead log chain — the newest sealed snapshot plus the
+// segments after it — opened read-only via wal.OpenChain. Because the
+// monitor's stamping is deterministic in delivery order, re-ingesting the
+// first c recorded events through a fresh timestamper reproduces, byte for
+// byte, the store a live monitor held after delivering those same c events.
+// A replay view is therefore exact: every Precedes/Concurrent answer, every
+// timestamp, every causal cut is what the live monitor would have answered
+// at that moment.
+//
+// Views share one progressively-extended timestamper: asking for cutoff c2
+// after c1 ≤ c2 only replays the (c1, c2] delta, and each view freezes the
+// store at its cutoff by capturing the per-process watermarks right after
+// materialization. The columnar store publishes timestamps monotonically
+// through those watermarks (see internal/hct/store.go), so later extensions
+// never disturb an earlier view's reads — the same argument that lets live
+// queries run lock-free against the ingest shards. Rewinding below an
+// already-materialized cutoff rebuilds from the start of the chain.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// CutoffLatest selects the newest recorded event count. ViewAt refreshes the
+// chain first, so on a live WAL directory this tracks the daemon's sealed
+// history.
+const CutoffLatest = ^uint64(0)
+
+// Options configures a replay store.
+type Options struct {
+	// NumProcs is the expected process count; 0 adopts it from the chain
+	// headers.
+	NumProcs int
+
+	// NewConfig builds the cluster-timestamp configuration used to restamp
+	// history. Deciders are stateful, so a fresh Config is requested per
+	// engine. To reproduce a live monitor's timestamps exactly, supply the
+	// same factory the daemon used; nil defaults to singleton clusters with
+	// MaxClusterSize 1, which answers every precedence query correctly (the
+	// clustering strategy affects timestamp size, never the order it
+	// encodes).
+	NewConfig func() hct.Config
+
+	// Obs, when non-nil, records replay latencies (chain open, view
+	// materialization) into the daemon's instrument set.
+	Obs *obs.Telemetry
+
+	// NoSidecar disables reading and writing .idx sidecars (see
+	// wal.ChainOptions).
+	NoSidecar bool
+
+	// MaxCachedViews bounds the view cache (FIFO). 0 selects the default
+	// of 8; evicted views stay valid, they just rematerialize on re-access.
+	MaxCachedViews int
+}
+
+const defaultMaxCachedViews = 8
+
+// Counts is the accounting snapshot frozen into a View at materialization:
+// what Monitor.Stats would have reported after delivering the view's prefix.
+type Counts struct {
+	Events          int
+	ClusterReceives int
+	MergedReceives  int
+	LiveClusters    int
+	MaxLiveCluster  int
+	Merges          int
+	MaxClusterSize  int
+	PendingSends    int
+}
+
+// Stats converts the snapshot to the monitor's Stats shape for the given
+// fixed-vector width (see hct.Timestamper.StorageInts for the encoding).
+func (c Counts) Stats(fixedVector int) monitor.Stats {
+	cr := int64(c.ClusterReceives)
+	rest := int64(c.Events) - cr
+	return monitor.Stats{
+		Events:          c.Events,
+		ClusterReceives: c.ClusterReceives,
+		MergedReceives:  c.MergedReceives,
+		LiveClusters:    c.LiveClusters,
+		MaxLiveCluster:  c.MaxLiveCluster,
+		StorageInts:     cr*int64(fixedVector) + rest*int64(c.MaxClusterSize),
+		PendingSends:    c.PendingSends,
+	}
+}
+
+// View is the store as of one cutoff. It embeds the same query surface the
+// live monitor promotes — Precedes, Concurrent, Timestamp, Lookup,
+// QueryBatch, GreatestPredecessors, GreatestConcurrent — evaluated against
+// the frozen watermark, and is safe for concurrent use alongside further
+// ViewAt calls on the owning store.
+type View struct {
+	*monitor.Queries
+
+	cutoff uint64
+	counts Counts
+	wm     hct.Watermark
+}
+
+// Cutoff returns the event-count cutoff this view is frozen at.
+func (v *View) Cutoff() uint64 { return v.cutoff }
+
+// Counts returns the accounting snapshot taken at materialization.
+func (v *View) Counts() Counts { return v.counts }
+
+// Watermark returns the per-process event counts the view is frozen at.
+// The returned slice is shared and must not be modified.
+func (v *View) Watermark() hct.Watermark { return v.wm }
+
+// Stats reports what the live monitor's Stats would have been at the cutoff.
+func (v *View) Stats(fixedVector int) monitor.Stats { return v.counts.Stats(fixedVector) }
+
+// frozenEngine adapts a (possibly still-growing) timestamper to the
+// monitor.QueryEngine contract with every read clamped to the watermark
+// captured at the view's cutoff. The timestamper's store only ever gains
+// cells above published watermarks, so clamped reads are stable forever.
+type frozenEngine struct {
+	ts *hct.Timestamper
+	wm hct.Watermark
+}
+
+func (f *frozenEngine) NumProcs() int { return f.ts.NumProcs() }
+
+func (f *frozenEngine) CaptureWatermark(buf hct.Watermark) hct.Watermark {
+	return append(buf[:0], f.wm...)
+}
+
+func (f *frozenEngine) Timestamp(id model.EventID) (*hct.Timestamp, bool) {
+	return f.ts.TimestampAt(id, f.wm)
+}
+
+func (f *frozenEngine) TimestampAt(id model.EventID, w hct.Watermark) (*hct.Timestamp, bool) {
+	return f.ts.TimestampAt(id, w)
+}
+
+func (f *frozenEngine) Precedes(e, g model.EventID) (bool, error) {
+	return f.ts.PrecedesAt(e, g, f.wm)
+}
+
+func (f *frozenEngine) PrecedesAt(e, g model.EventID, w hct.Watermark) (bool, error) {
+	return f.ts.PrecedesAt(e, g, w)
+}
+
+func (f *frozenEngine) Concurrent(e, g model.EventID) (bool, error) {
+	return f.ts.ConcurrentAt(e, g, f.wm)
+}
+
+func (f *frozenEngine) ConcurrentAt(e, g model.EventID, w hct.Watermark) (bool, error) {
+	return f.ts.ConcurrentAt(e, g, w)
+}
+
+// Store materializes replay views over one WAL directory. All methods are
+// safe for concurrent use; materialization is serialized internally while
+// queries against existing views proceed lock-free.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	chain     *wal.Chain
+	ts        *hct.Timestamper // shared engine, extended forward in cutoff order
+	delivered uint64           // events fed into ts so far
+	views     []*View          // FIFO cache, newest last
+}
+
+// Open opens the WAL chain in dir for replay. The directory may belong to a
+// running daemon: the chain reader only touches sealed history.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.NewConfig == nil {
+		opts.NewConfig = func() hct.Config { return hct.Config{MaxClusterSize: 1} }
+	}
+	if opts.MaxCachedViews <= 0 {
+		opts.MaxCachedViews = defaultMaxCachedViews
+	}
+	s := &Store{dir: dir, opts: opts}
+	start := time.Now()
+	chain, err := wal.OpenChain(dir, wal.ChainOptions{NumProcs: opts.NumProcs, NoSidecar: opts.NoSidecar})
+	if err != nil {
+		return nil, err
+	}
+	s.observe(s.obsReplayOpen(), start)
+	numProcs := chain.NumProcs()
+	if numProcs <= 0 {
+		chain.Close()
+		return nil, errors.New("replay: chain holds no events and no process count was configured")
+	}
+	ts, err := hct.NewTimestamper(numProcs, opts.NewConfig())
+	if err != nil {
+		chain.Close()
+		return nil, err
+	}
+	s.chain = chain
+	s.ts = ts
+	return s, nil
+}
+
+func (s *Store) obsReplayOpen() *obs.Histogram {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.ReplayOpen
+}
+
+func (s *Store) obsReplayMaterialize() *obs.Histogram {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.ReplayMaterialize
+}
+
+func (s *Store) observe(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start))
+}
+
+// NumProcs returns the process count of the recorded computation.
+func (s *Store) NumProcs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain.NumProcs()
+}
+
+// Events returns the number of events currently recorded by the chain (as of
+// the last open or refresh).
+func (s *Store) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain.Events()
+}
+
+// Torn reports whether the chain's final segment ended in a torn tail.
+func (s *Store) Torn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain.Torn()
+}
+
+// RunBoundaries returns the ascending global event counts at which recorded
+// runs ended — the natural cutoffs of the recorded computation.
+func (s *Store) RunBoundaries() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain.RunBoundaries()
+}
+
+// Refresh re-opens the chain, picking up segments sealed (and compactions
+// performed) since the last open. Existing views remain valid.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked()
+}
+
+func (s *Store) refreshLocked() error {
+	start := time.Now()
+	chain, err := wal.OpenChain(s.dir, wal.ChainOptions{NumProcs: s.chain.NumProcs(), NoSidecar: s.opts.NoSidecar})
+	if err != nil {
+		return err
+	}
+	s.observe(s.obsReplayOpen(), start)
+	if chain.Events() < s.delivered {
+		// The directory shrank below what we already restamped — it is not
+		// the same computation anymore (e.g. the daemon was restarted on a
+		// fresh trace). Refuse rather than serve mixed history.
+		chain.Close()
+		return fmt.Errorf("replay: chain in %s rewound to %d events (already materialized %d)", s.dir, chain.Events(), s.delivered)
+	}
+	s.chain.Close()
+	s.chain = chain
+	return nil
+}
+
+// ViewAt materializes (or returns a cached) view of the store as of cutoff
+// events. CutoffLatest selects — after refreshing the chain — everything
+// recorded. A cutoff beyond the last refresh triggers one refresh before
+// failing, so callers can follow a live daemon by cutoff alone.
+func (s *Store) ViewAt(cutoff uint64) (*View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cutoff == CutoffLatest {
+		if err := s.refreshLocked(); err != nil {
+			return nil, err
+		}
+		cutoff = s.chain.Events()
+	} else if cutoff > s.chain.Events() {
+		if err := s.refreshLocked(); err != nil {
+			return nil, err
+		}
+		if cutoff > s.chain.Events() {
+			return nil, fmt.Errorf("replay: cutoff %d beyond recorded history (%d events)", cutoff, s.chain.Events())
+		}
+	}
+	for _, v := range s.views {
+		if v.cutoff == cutoff {
+			return v, nil
+		}
+	}
+	v, err := s.materializeLocked(cutoff)
+	if err != nil {
+		return nil, err
+	}
+	s.views = append(s.views, v)
+	if len(s.views) > s.opts.MaxCachedViews {
+		s.views = append(s.views[:0], s.views[1:]...)
+		s.views = s.views[:s.opts.MaxCachedViews]
+	}
+	return v, nil
+}
+
+// materializeLocked builds the view at cutoff. Ascending cutoffs extend the
+// shared engine by the delta; a rewind below the shared engine's position
+// restamps from the start of the chain into a throwaway engine.
+func (s *Store) materializeLocked(cutoff uint64) (*View, error) {
+	start := time.Now()
+	ts := s.ts
+	from := s.delivered
+	shared := cutoff >= s.delivered
+	if !shared {
+		fresh, err := hct.NewTimestamper(s.chain.NumProcs(), s.opts.NewConfig())
+		if err != nil {
+			return nil, err
+		}
+		ts, from = fresh, 0
+	}
+	fed := from
+	err := s.chain.ReplayRange(from, cutoff, func(batch []model.Event) error {
+		for _, e := range batch {
+			if err := ts.Ingest(e); err != nil {
+				return err
+			}
+			fed++
+		}
+		return nil
+	})
+	if shared {
+		// Even on error the successfully-ingested prefix is valid history;
+		// keep the shared engine consistent with what it absorbed.
+		s.delivered = fed
+	}
+	if err != nil {
+		return nil, fmt.Errorf("replay: materialize cutoff %d: %w", cutoff, err)
+	}
+	v := &View{
+		cutoff: cutoff,
+		counts: Counts{
+			Events:          ts.Events(),
+			ClusterReceives: ts.ClusterReceives(),
+			MergedReceives:  ts.MergedClusterReceives(),
+			LiveClusters:    ts.Partition().NumLive(),
+			MaxLiveCluster:  ts.Partition().MaxLiveSize(),
+			Merges:          ts.Merges(),
+			MaxClusterSize:  ts.MaxClusterSize(),
+			PendingSends:    ts.PendingSends(),
+		},
+	}
+	v.wm = ts.CaptureWatermark(nil)
+	v.Queries = monitor.NewQueries(&frozenEngine{ts: ts, wm: v.wm})
+	s.observe(s.obsReplayMaterialize(), start)
+	return v, nil
+}
+
+// HistoryAt implements the daemon's history hook (monitor.HistoryProvider):
+// it returns the query surface frozen at cutoff.
+func (s *Store) HistoryAt(cutoff uint64) (*monitor.Queries, error) {
+	v, err := s.ViewAt(cutoff)
+	if err != nil {
+		return nil, err
+	}
+	return v.Queries, nil
+}
+
+// Close releases the chain's mappings. Existing views keep answering —
+// their timestamps live in the materialized store, not the mapped files —
+// but further ViewAt calls that need more history will fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.chain.Close()
+}

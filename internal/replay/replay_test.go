@@ -1,0 +1,364 @@
+package replay_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/commgraph"
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/vclock"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// configFactory builds the strategy rotation used across the differential
+// battery (mirroring the hct pipeline tests): deciders are stateful and the
+// engine mutates the partition it is handed, so every call hands out a fresh
+// Config.
+func configFactory(t *testing.T, tr *model.Trace, variant, maxCS int) func() hct.Config {
+	t.Helper()
+	switch variant % 3 {
+	case 0:
+		return func() hct.Config {
+			return hct.Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnFirst()}
+		}
+	case 1:
+		return func() hct.Config {
+			return hct.Config{MaxClusterSize: maxCS, Decider: strategy.NewMergeOnNth(5)}
+		}
+	default:
+		groups := strategy.StaticGreedy(commgraph.FromTrace(tr), maxCS)
+		return func() hct.Config {
+			part, err := cluster.NewFromGroups(tr.NumProcs, groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return hct.Config{MaxClusterSize: maxCS, Partition: part}
+		}
+	}
+}
+
+// sameTimestamp reports whether two timestamps are identical down to the
+// cluster-epoch identity and every vector element.
+func sameTimestamp(a, b *hct.Timestamp) bool {
+	return a.ID == b.ID && a.Kind == b.Kind && a.Partner == b.Partner &&
+		((a.Cluster == nil) == (b.Cluster == nil)) &&
+		(a.Cluster == nil || (a.Cluster.ID == b.Cluster.ID &&
+			vclock.Clock(a.Cluster.Members).Equal(vclock.Clock(b.Cluster.Members)))) &&
+		vclock.Clock(a.Proj).Equal(vclock.Clock(b.Proj)) &&
+		a.Full.Equal(b.Full)
+}
+
+// buildWAL journals the trace into a fresh WAL directory in runs of random
+// sizes, compacting once at a mid-trace boundary when compactAt is positive.
+// It returns the run boundaries as ascending global event counts.
+func buildWAL(t *testing.T, dir string, tr *model.Trace, seed int64, compactAt int) []uint64 {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{NumProcs: tr.NumProcs, Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	var boundaries []uint64
+	for lo := 0; lo < len(tr.Events); {
+		hi := lo + 1 + r.Intn(96)
+		if hi > len(tr.Events) {
+			hi = len(tr.Events)
+		}
+		if err := l.Append(tr.Events[lo:hi]); err != nil {
+			t.Fatalf("Append events[%d:%d]: %v", lo, hi, err)
+		}
+		boundaries = append(boundaries, uint64(hi))
+		if compactAt > 0 && lo < compactAt && hi >= compactAt {
+			if err := l.Compact(); err != nil {
+				t.Fatalf("Compact at %d: %v", hi, err)
+			}
+		}
+		lo = hi
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return boundaries
+}
+
+// pickCutoffs selects the cutoff sweep: every run boundary on small traces,
+// a spread sample (always including the first and last boundary) on large
+// ones, plus cutoffs that deliberately land mid-run.
+func pickCutoffs(boundaries []uint64, total uint64, r *rand.Rand) []uint64 {
+	var cutoffs []uint64
+	if len(boundaries) <= 12 {
+		cutoffs = append(cutoffs, boundaries...)
+	} else {
+		cutoffs = append(cutoffs, boundaries[0])
+		for k := 1; k <= 8; k++ {
+			cutoffs = append(cutoffs, boundaries[k*(len(boundaries)-1)/9])
+		}
+		cutoffs = append(cutoffs, boundaries[len(boundaries)-1])
+	}
+	// Mid-run cutoffs: the chain reader must clip inside a record.
+	if total > 2 {
+		cutoffs = append(cutoffs, 1+uint64(r.Int63n(int64(total-1))))
+	}
+	// Ascending order exercises the shared-engine delta path; duplicates
+	// exercise the cache.
+	for i := 1; i < len(cutoffs); i++ {
+		for j := i; j > 0 && cutoffs[j] < cutoffs[j-1]; j-- {
+			cutoffs[j], cutoffs[j-1] = cutoffs[j-1], cutoffs[j]
+		}
+	}
+	return cutoffs
+}
+
+// TestReplayDifferentialCorpus is the tentpole correctness bar: for every
+// corpus computation, a WAL is written in random-size runs (compacted
+// mid-trace for every third computation), and for a sweep of cutoffs the
+// replayed view must agree with a live monitor that delivered exactly the
+// first c events — identical timestamps (cluster epochs, projections,
+// retained full vectors), identical precedence answers, identical
+// accounting — at ingest shard counts 1 and 4.
+func TestReplayDifferentialCorpus(t *testing.T) {
+	specs := workload.Corpus()
+	for i, spec := range specs {
+		if testing.Short() && i%5 != 0 {
+			continue
+		}
+		i, spec := i, spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			tr := spec.Generate()
+			r := rand.New(rand.NewSource(0xC1F + int64(i)))
+			const maxCS = 13
+			factory := configFactory(t, tr, i, maxCS)
+
+			dir := t.TempDir()
+			compactAt := 0
+			if i%3 == 0 && len(tr.Events) > 4 {
+				compactAt = 1 + r.Intn(len(tr.Events)-2)
+			}
+			boundaries := buildWAL(t, dir, tr, int64(i)*7+1, compactAt)
+
+			// MaxCachedViews 2 forces the rewind path when an early cutoff
+			// is re-requested after the sweep.
+			st, err := replay.Open(dir, replay.Options{NewConfig: factory, MaxCachedViews: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+
+			if got, want := st.Events(), uint64(len(tr.Events)); got != want {
+				t.Fatalf("chain records %d events, trace has %d", got, want)
+			}
+			gotB := st.RunBoundaries()
+			if len(gotB) != len(boundaries) {
+				t.Fatalf("RunBoundaries: %d boundaries, appended %d runs", len(gotB), len(boundaries))
+			}
+			for k := range gotB {
+				if gotB[k] != boundaries[k] {
+					t.Fatalf("RunBoundaries[%d] = %d, want %d", k, gotB[k], boundaries[k])
+				}
+			}
+
+			cutoffs := pickCutoffs(boundaries, uint64(len(tr.Events)), r)
+			for _, shards := range []int{1, 4} {
+				for _, c := range cutoffs {
+					v, err := st.ViewAt(c)
+					if err != nil {
+						t.Fatalf("shards=%d ViewAt(%d): %v", shards, c, err)
+					}
+					compareViewToLive(t, tr, factory, shards, c, v, r)
+				}
+			}
+
+			// Rewind: a mid-sweep cutoff is long evicted from the 2-entry
+			// cache, so this re-access rematerializes from the chain start.
+			if len(cutoffs) > 2 {
+				c := cutoffs[len(cutoffs)/2]
+				v, err := st.ViewAt(c)
+				if err != nil {
+					t.Fatalf("rewind ViewAt(%d): %v", c, err)
+				}
+				compareViewToLive(t, tr, factory, 1, c, v, r)
+			}
+		})
+	}
+}
+
+// compareViewToLive delivers the first c trace events to a live sharded
+// monitor and asserts the replay view is indistinguishable from it.
+func compareViewToLive(t *testing.T, tr *model.Trace, factory func() hct.Config, shards int, c uint64, v *replay.View, r *rand.Rand) {
+	t.Helper()
+	live, err := monitor.NewSharded(tr.NumProcs, factory(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	prefix := tr.Events[:c]
+	if err := live.DeliverBatch(prefix); err != nil {
+		t.Fatalf("shards=%d cutoff=%d: DeliverBatch: %v", shards, c, err)
+	}
+
+	// Timestamps: byte-identical, and present on exactly the same events
+	// (a sync half whose partner is past the cutoff is withheld by both).
+	idxs := make([]int, 0, len(prefix))
+	if len(prefix) <= 2000 {
+		for i := range prefix {
+			idxs = append(idxs, i)
+		}
+	} else {
+		for k := 0; k < 2000; k++ {
+			idxs = append(idxs, r.Intn(len(prefix)))
+		}
+	}
+	for _, i := range idxs {
+		id := prefix[i].ID
+		want, okLive := live.Timestamp(id)
+		got, okReplay := v.Timestamp(id)
+		if okLive != okReplay {
+			t.Fatalf("shards=%d cutoff=%d: Timestamp(%v) present live=%v replay=%v", shards, c, id, okLive, okReplay)
+		}
+		if okLive && !sameTimestamp(got, want) {
+			t.Fatalf("shards=%d cutoff=%d: Timestamp(%v) = %v, live %v", shards, c, id, got, want)
+		}
+	}
+	// Events beyond the cutoff must be absent from both.
+	if c < uint64(len(tr.Events)) {
+		id := tr.Events[c].ID
+		if _, ok := v.Timestamp(id); ok {
+			if _, okL := live.Timestamp(id); !okL {
+				t.Fatalf("shards=%d cutoff=%d: replay exposes undelivered event %v", shards, c, id)
+			}
+		}
+	}
+
+	// Precedence: the full matrix on small prefixes, dense samples on
+	// large ones. Answers and rejections must match exactly.
+	check := func(a, b model.EventID) {
+		gotP, gotErr := v.Precedes(a, b)
+		wantP, wantErr := live.Precedes(a, b)
+		if gotP != wantP || (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("shards=%d cutoff=%d: Precedes(%v,%v) = (%v,%v), live (%v,%v)",
+				shards, c, a, b, gotP, gotErr, wantP, wantErr)
+		}
+		gotC, gotErr := v.Concurrent(a, b)
+		wantC, wantErr := live.Concurrent(a, b)
+		if gotC != wantC || (gotErr != nil) != (wantErr != nil) {
+			t.Fatalf("shards=%d cutoff=%d: Concurrent(%v,%v) = (%v,%v), live (%v,%v)",
+				shards, c, a, b, gotC, gotErr, wantC, wantErr)
+		}
+	}
+	if len(prefix) <= 120 {
+		for _, e := range prefix {
+			for _, f := range prefix {
+				check(e.ID, f.ID)
+			}
+		}
+	} else {
+		for k := 0; k < 2000; k++ {
+			check(prefix[r.Intn(len(prefix))].ID, prefix[r.Intn(len(prefix))].ID)
+		}
+	}
+
+	// Accounting: what STATS would have reported at the cutoff.
+	const fixed = 300
+	gotStats, wantStats := v.Stats(fixed), live.Stats(fixed)
+	if gotStats.Events != wantStats.Events || gotStats.ClusterReceives != wantStats.ClusterReceives ||
+		gotStats.MergedReceives != wantStats.MergedReceives || gotStats.LiveClusters != wantStats.LiveClusters ||
+		gotStats.StorageInts != wantStats.StorageInts || gotStats.PendingSends != wantStats.PendingSends {
+		t.Fatalf("shards=%d cutoff=%d: Stats = %+v, live %+v", shards, c, gotStats, wantStats)
+	}
+}
+
+// TestReplayCompoundQueries pins the compound query surface against the live
+// monitor: the greatest-predecessor and greatest-concurrent cuts of sampled
+// events must match at a mid-trace cutoff.
+func TestReplayCompoundQueries(t *testing.T) {
+	tr := workload.RandomSparse(8, 3, 400, 11)
+	factory := func() hct.Config {
+		return hct.Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()}
+	}
+	dir := t.TempDir()
+	boundaries := buildWAL(t, dir, tr, 3, len(tr.Events)/2)
+	st, err := replay.Open(dir, replay.Options{NewConfig: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	c := boundaries[len(boundaries)/2]
+	v, err := st.ViewAt(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := monitor.New(tr.NumProcs, factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if err := live.DeliverBatch(tr.Events[:c]); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for k := 0; k < 30; k++ {
+		id := tr.Events[r.Int63n(int64(c))].ID
+		gp, gerr := v.GreatestPredecessors(id)
+		wp, werr := live.GreatestPredecessors(id)
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("GreatestPredecessors(%v): err %v, live %v", id, gerr, werr)
+		}
+		for q := range gp {
+			if gp[q] != wp[q] {
+				t.Fatalf("GreatestPredecessors(%v)[%d] = %+v, live %+v", id, q, gp[q], wp[q])
+			}
+		}
+		gc, gerr := v.GreatestConcurrent(id)
+		wc, werr := live.GreatestConcurrent(id)
+		if (gerr != nil) != (werr != nil) {
+			t.Fatalf("GreatestConcurrent(%v): err %v, live %v", id, gerr, werr)
+		}
+		for q := range gc {
+			if gc[q] != wc[q] {
+				t.Fatalf("GreatestConcurrent(%v)[%d] = %+v, live %+v", id, q, gc[q], wc[q])
+			}
+		}
+	}
+}
+
+// TestReplayCutoffBeyondHistory pins the error surface: a cutoff past the
+// recorded history must fail cleanly (after one refresh attempt), and
+// CutoffLatest must land exactly on the recorded event count.
+func TestReplayCutoffBeyondHistory(t *testing.T) {
+	tr := workload.RandomSparse(4, 2, 100, 7)
+	dir := t.TempDir()
+	buildWAL(t, dir, tr, 1, 0)
+	st, err := replay.Open(dir, replay.Options{NewConfig: func() hct.Config {
+		return hct.Config{MaxClusterSize: 3, Decider: strategy.NewMergeOnFirst()}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.ViewAt(uint64(len(tr.Events)) + 1); err == nil {
+		t.Fatal("ViewAt past history succeeded")
+	}
+	v, err := st.ViewAt(replay.CutoffLatest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cutoff() != uint64(len(tr.Events)) {
+		t.Fatalf("CutoffLatest resolved to %d, want %d", v.Cutoff(), len(tr.Events))
+	}
+	// The zero cutoff is a valid (empty) view.
+	v0, err := st.ViewAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v0.Timestamp(tr.Events[0].ID); ok {
+		t.Fatal("empty view exposes an event")
+	}
+}

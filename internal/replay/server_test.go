@@ -1,0 +1,180 @@
+package replay_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/monitor"
+	"repro/internal/replay"
+	"repro/internal/strategy"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// TestServerQueryAt wires the replay plane into a live server the way poetd
+// does and exercises the QUERY@ frame end to end: answers at a historical
+// cutoff must match a local view at that cutoff, CutoffLatest must answer
+// over sealed history, and queries beyond the cutoff must come back as
+// per-query rejections, all while the server keeps ingesting.
+func TestServerQueryAt(t *testing.T) {
+	tr := workload.RandomSparse(6, 3, 600, 9)
+	factory := func() hct.Config {
+		return hct.Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()}
+	}
+
+	dir := t.TempDir()
+	wlog, err := wal.Open(dir, wal.Options{NumProcs: tr.NumProcs, Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monitor.New(tr.NumProcs, factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := replay.Open(dir, replay.Options{NumProcs: tr.NumProcs, NewConfig: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hist.Close()
+
+	srv := monitor.NewServer(m, monitor.ServerConfig{Journal: wlog, History: hist})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := monitor.DialV2(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Stream two thirds of the trace through the server (journaled to the
+	// WAL), keeping the rest undelivered.
+	cut := 2 * len(tr.Events) / 3
+	if err := c.ReportBatch(tr.Events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	// Everything acked is journaled, but SyncNever buffers in process:
+	// flush so the chain reader sees the records on disk.
+	if err := wlog.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a historical cutoff at half of what was delivered and build the
+	// reference answers from a local replay view of the same WAL.
+	cutoff := uint64(cut / 2)
+	local, err := hist.ViewAt(cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []monitor.Query
+	wm := local.Watermark()
+	for p1 := range wm {
+		for p2 := range wm {
+			if wm[p1] == 0 || wm[p2] == 0 {
+				continue
+			}
+			qs = append(qs, monitor.Query{
+				Op: monitor.OpPrecedes,
+				A:  model.EventID{Process: model.ProcessID(p1), Index: 1},
+				B:  model.EventID{Process: model.ProcessID(p2), Index: model.EventIndex(wm[p2])},
+			})
+		}
+	}
+	res, err := c.QueryBatchAt(cutoff, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, wantErr := local.Precedes(q.A, q.B)
+		if (res[i].Err != nil) != (wantErr != nil) || res[i].True != want {
+			t.Fatalf("QUERY@%d %v->%v = (%v,%v), local view (%v,%v)",
+				cutoff, q.A, q.B, res[i].True, res[i].Err, want, wantErr)
+		}
+	}
+
+	// An event past the cutoff is unknown to the view even though the live
+	// store has it: the server must reject that query (per-query), while
+	// the live QUERY path answers it. Pair it with a known in-view event —
+	// Precedes(e, e) is false by definition and skips the existence check.
+	beyond := tr.Events[cutoff].ID
+	var known model.EventID
+	for p := range wm {
+		if wm[p] > 0 {
+			known = model.EventID{Process: model.ProcessID(p), Index: 1}
+			break
+		}
+	}
+	resAt, err := c.QueryBatchAt(cutoff, []monitor.Query{{Op: monitor.OpPrecedes, A: beyond, B: known}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAt[0].Err == nil {
+		t.Fatalf("QUERY@%d on event %v beyond the cutoff was answered", cutoff, beyond)
+	}
+	resLive, err := c.QueryBatch([]monitor.Query{{Op: monitor.OpPrecedes, A: beyond, B: known}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLive[0].Err != nil {
+		t.Fatalf("live QUERY on delivered event %v rejected: %v", beyond, resLive[0].Err)
+	}
+
+	// CutoffLatest follows the journal: the latest view answers over
+	// everything flushed to the WAL so far.
+	resLatest, err := c.QueryBatchAt(monitor.CutoffLatest, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resLatest) != len(qs) {
+		t.Fatalf("QUERY@latest answered %d of %d", len(resLatest), len(qs))
+	}
+
+	// A cutoff beyond all recorded history is a frame-level error.
+	if _, err := c.QueryBatchAt(uint64(len(tr.Events))+100, qs[:1]); err == nil {
+		t.Fatal("QUERY@ beyond history succeeded")
+	} else if !strings.Contains(err.Error(), "beyond recorded history") {
+		t.Fatalf("QUERY@ beyond history: unexpected error %v", err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerQueryAtWithoutHistory pins the rejection path: a server without
+// a replay plane answers QUERY@ with an ERR frame and keeps the connection.
+func TestServerQueryAtWithoutHistory(t *testing.T) {
+	m, err := monitor.New(2, hct.Config{MaxClusterSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := monitor.NewServer(m, monitor.ServerConfig{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := monitor.DialV2(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	q := []monitor.Query{{Op: monitor.OpPrecedes, A: model.EventID{Process: 0, Index: 1}, B: model.EventID{Process: 1, Index: 1}}}
+	if _, err := c.QueryBatchAt(0, q); err == nil {
+		t.Fatal("QUERY@ without a replay plane succeeded")
+	} else if !strings.Contains(err.Error(), "no replay plane") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The connection survives the rejection.
+	if err := c.ReportBatch([]model.Event{{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary}}); err != nil {
+		t.Fatalf("connection dead after QUERY@ rejection: %v", err)
+	}
+}

@@ -1,0 +1,561 @@
+package wal
+
+// Read-only access to a WAL directory: the replay plane's view of history.
+//
+// Open performs *recovery* — it mutates the directory (removes crashed
+// compaction leftovers, truncates torn tails) and takes ownership for
+// appending. OpenChain is its read-only counterpart: it validates the same
+// snapshot + segment chain but never writes to any log or snapshot file, so
+// it can open the directory of a live daemon (or a cold copy) while appends,
+// rotations and compactions keep running:
+//
+//   - sealed files are memory-mapped and immutable; a mapping survives the
+//     unlink a concurrent compaction issues, so views outlive rotations;
+//   - the active segment's valid prefix is captured at open — a record the
+//     writer has half-flushed fails its CRC and simply bounds the prefix
+//     (nothing is truncated, and the chain never surfaces a torn record);
+//   - files that vanish between the directory listing and the open lost a
+//     race with compaction; OpenChain rescans and retries;
+//   - an unsealed or corrupt newest snapshot is skipped in favour of an
+//     older sealed one (Open would delete it; we must not).
+//
+// The chain also maintains index sidecars (wal-<base>.idx / snap-<count>.idx):
+// a cached record index mapping event-count cutoffs to byte offsets, written
+// once a part is known sealed. A sidecar lets a later OpenChain skip the
+// full CRC scan of a sealed multi-gigabyte part and lets ReplayRange seek to
+// an event cutoff in O(log records). Sidecars are a pure cache: they are
+// validated against the source file's identity (header CRC, size) and
+// rebuilt by scanning whenever anything mismatches, and the writer deletes
+// them alongside their source during compaction.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ChainOptions configures a read-only chain open.
+type ChainOptions struct {
+	// NumProcs, when positive, is enforced against every file header.
+	// Zero adopts the process count recorded in the chain itself.
+	NumProcs int
+	// NoSidecar disables writing .idx index sidecars (reading existing
+	// ones is always attempted). The only writes OpenChain ever performs
+	// are these additive cache files; NoSidecar makes it strictly
+	// read-only.
+	NoSidecar bool
+}
+
+// recEntry locates one record of a chain part: the byte offset of its
+// record header and the number of events in the part before it.
+type recEntry struct {
+	off   int64
+	event uint64
+}
+
+// chainPart is one validated, memory-mapped file of a chain.
+type chainPart struct {
+	path     string
+	snapshot bool
+	base     uint64 // global offset of the part's first event (snapshot: 0)
+	events   uint64 // events in the valid prefix
+	validLen int64  // bytes of the valid prefix, header included
+	data     []byte
+	unmap    func() error
+	recs     []recEntry
+	torn     bool // scan stopped at a torn or corrupt tail record
+}
+
+// Chain is a read-only view of a WAL directory's event history: the newest
+// sealed snapshot (if any) plus the segment tail, validated and mapped.
+// A Chain is immutable after OpenChain; reopen to observe later appends.
+type Chain struct {
+	dir      string
+	numProcs int
+	parts    []*chainPart // snapshot first (if any), then segments by base
+	events   uint64
+	snapped  uint64 // events covered by the snapshot part
+	torn     bool
+}
+
+// OpenChain opens dir read-only and validates its snapshot + segment chain.
+// It retries when files vanish mid-scan (a concurrent compaction winning
+// the race). The returned chain is a consistent prefix of the delivered
+// sequence as of some instant during the call.
+func OpenChain(dir string, opts ChainOptions) (*Chain, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		c, err := openChainOnce(dir, opts)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("wal: chain kept changing during open: %w", lastErr)
+}
+
+func openChainOnce(dir string, opts ChainOptions) (c *Chain, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snapCounts, segBases []uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") || strings.HasSuffix(name, ".idx") {
+			continue
+		}
+		if n, ok := parseHexName(name, "snap-", ".snap"); ok {
+			snapCounts = append(snapCounts, n)
+		} else if b, ok := parseHexName(name, "wal-", ".log"); ok {
+			segBases = append(segBases, b)
+		}
+	}
+	sort.Slice(snapCounts, func(i, j int) bool { return snapCounts[i] > snapCounts[j] })
+	sort.Slice(segBases, func(i, j int) bool { return segBases[i] < segBases[j] })
+
+	c = &Chain{dir: dir, numProcs: opts.NumProcs}
+	chain := c // the named return is nil on error paths; unmap via this ref
+	defer func() {
+		if err != nil {
+			chain.Close()
+		}
+	}()
+
+	// Newest sealed snapshot that validates end to end wins. A corrupt or
+	// unsealed one (crashed compaction, or damage) is skipped, not deleted:
+	// an older sealed snapshot plus the still-present segments covers the
+	// same history.
+	for _, n := range snapCounts {
+		part, perr := openChainPart(c, filepath.Join(dir, snapName(n)), true, true, n, !opts.NoSidecar)
+		if perr != nil {
+			if errors.Is(perr, fs.ErrNotExist) {
+				return nil, perr // compaction race: rescan
+			}
+			continue
+		}
+		c.parts = append(c.parts, part)
+		c.snapped = n
+		break
+	}
+
+	// Validate the segment tail. Only the final segment may end torn (an
+	// in-flight append or a crash); damage anywhere else is a hard error —
+	// those segments were sealed by rotation.
+	c.events = c.snapped
+	for i, b := range segBases {
+		last := i == len(segBases)-1
+		part, perr := openChainPart(c, filepath.Join(dir, segName(b)), false, !last, b, !opts.NoSidecar)
+		if perr != nil {
+			if errors.Is(perr, fs.ErrNotExist) {
+				return nil, perr // compaction race: rescan
+			}
+			if last && isHeaderDamage(perr) {
+				// The active segment's header never finished reaching the
+				// disk (a crash inside rotation): the file holds no
+				// recoverable events. Contribute nothing; Open would
+				// remove it.
+				c.torn = true
+				continue
+			}
+			return nil, perr
+		}
+		if part.torn {
+			if !last {
+				part.close()
+				return nil, fmt.Errorf("wal: %s: corrupt record inside sealed segment", part.path)
+			}
+			c.torn = true
+		}
+		if part.base+part.events <= c.events {
+			// Fully covered by the snapshot (compaction finished but its
+			// input cleanup didn't, yet) or by an earlier segment. Skip it.
+			part.close()
+			continue
+		}
+		if part.base > c.events {
+			perr := fmt.Errorf("wal: gap: chain covers %d events but segment %s starts at %d",
+				c.events, part.path, part.base)
+			part.close()
+			return nil, perr
+		}
+		c.parts = append(c.parts, part)
+		c.events = part.base + part.events
+	}
+	return c, nil
+}
+
+// errHeaderDamage wraps file-header validation failures so the final-segment
+// crash window (header never fully written) can be told apart from record
+// corruption.
+type headerDamageError struct{ err error }
+
+func (e *headerDamageError) Error() string { return e.err.Error() }
+func (e *headerDamageError) Unwrap() error { return e.err }
+
+func isHeaderDamage(err error) bool {
+	var hd *headerDamageError
+	return errors.As(err, &hd)
+}
+
+// parseHeaderBytes validates a 24-byte file header held in data.
+func parseHeaderBytes(data []byte, magic string) (n uint64, procs int, err error) {
+	if len(data) < fileHeaderLen {
+		return 0, 0, &headerDamageError{fmt.Errorf("wal: short header (%d bytes)", len(data))}
+	}
+	if crc32.Checksum(data[:20], crcTable) != binary.BigEndian.Uint32(data[20:]) {
+		return 0, 0, &headerDamageError{errors.New("wal: header checksum mismatch")}
+	}
+	if string(data[:8]) != magic {
+		return 0, 0, fmt.Errorf("wal: bad magic %q, want %q", data[:8], magic)
+	}
+	return binary.BigEndian.Uint64(data[8:]), int(binary.BigEndian.Uint32(data[16:])), nil
+}
+
+// openChainPart maps one file and validates it, via its sidecar when the
+// part is sealed and the sidecar matches, else by a full CRC scan. On a
+// clean scan of a sealed part it writes the sidecar back (best effort).
+// c.numProcs is enforced when set and adopted when zero.
+func openChainPart(c *Chain, path string, snapshot, sealed bool, wantN uint64, sidecar bool) (*chainPart, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, st.Size())
+	f.Close() // the mapping keeps the pages
+	if err != nil {
+		return nil, err
+	}
+	part := &chainPart{path: path, snapshot: snapshot, data: data, unmap: unmap}
+	magic := segMagic
+	if snapshot {
+		magic = snapMagic
+	}
+	n, procs, err := parseHeaderBytes(data, magic)
+	if err != nil {
+		part.close()
+		return nil, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if n != wantN {
+		part.close()
+		return nil, fmt.Errorf("wal: %s: header records %d, name says %d", path, n, wantN)
+	}
+	if c.numProcs > 0 && procs != c.numProcs {
+		part.close()
+		return nil, fmt.Errorf("wal: %s: logged for %d processes, chain has %d", path, procs, c.numProcs)
+	}
+	if !snapshot {
+		part.base = n
+	}
+
+	if sealed && loadSidecar(part, snapshot) {
+		c.numProcs = procs
+		return part, nil
+	}
+	recs, events, validLen, sealCount, isSealed, torn := scanChainBody(data, snapshot)
+	if snapshot {
+		if !isSealed || sealCount != n || events != n {
+			part.close()
+			return nil, fmt.Errorf("wal: %s: unsealed or corrupt snapshot (sealed=%v seal=%d header=%d events=%d)",
+				path, isSealed, sealCount, n, events)
+		}
+	}
+	part.recs, part.events, part.validLen, part.torn = recs, events, validLen, torn
+	c.numProcs = procs
+	if sealed && !torn && sidecar {
+		writeSidecar(part, snapshot) // best effort: a cache miss next time
+	}
+	return part, nil
+}
+
+// scanChainBody walks the records of a mapped part, validating framing and
+// CRCs, and builds the record index. It never fails: invalid data bounds
+// the valid prefix (torn=true for segments; snapshots additionally require
+// the seal, checked by the caller via sealed/sealCount).
+func scanChainBody(data []byte, snapshot bool) (recs []recEntry, events uint64, validLen int64, sealCount uint64, sealed, torn bool) {
+	off := int64(fileHeaderLen)
+	if int64(len(data)) < off {
+		return nil, 0, int64(len(data)), 0, false, true
+	}
+	for {
+		rem := int64(len(data)) - off
+		if rem == 0 {
+			return recs, events, off, 0, false, false
+		}
+		if rem < recordHeaderLen {
+			return recs, events, off, 0, false, true
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		if n == sealMarker {
+			if !snapshot || rem < sealLen {
+				return recs, events, off, 0, false, true
+			}
+			count := binary.BigEndian.Uint64(data[off+4:])
+			crc := binary.BigEndian.Uint32(data[off+12:])
+			if crc32.Checksum(data[off+4:off+12], crcTable) != crc {
+				return recs, events, off, 0, false, true
+			}
+			return recs, events, off + sealLen, count, true, false
+		}
+		if n < 4 || n > maxRecordPayload || rem < recordHeaderLen+int64(n) {
+			return recs, events, off, 0, false, true
+		}
+		payload := data[off+recordHeaderLen : off+recordHeaderLen+int64(n)]
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(data[off+4:]) {
+			return recs, events, off, 0, false, true
+		}
+		count := binary.BigEndian.Uint32(payload)
+		if uint64(count)*eventRecMin > uint64(n-4) {
+			return recs, events, off, 0, false, true
+		}
+		recs = append(recs, recEntry{off: off, event: events})
+		events += uint64(count)
+		off += recordHeaderLen + int64(n)
+	}
+}
+
+func (p *chainPart) close() {
+	if p.unmap != nil {
+		p.unmap()
+		p.unmap = nil
+	}
+	p.data = nil
+}
+
+// NumProcs returns the chain's process count (from ChainOptions or adopted
+// from the file headers; 0 for an empty chain opened without one).
+func (c *Chain) NumProcs() int { return c.numProcs }
+
+// Events returns the number of events the chain can replay.
+func (c *Chain) Events() uint64 { return c.events }
+
+// SnapshotEvents returns the number of events covered by the snapshot part
+// (0 when the chain has none).
+func (c *Chain) SnapshotEvents() uint64 { return c.snapped }
+
+// Torn reports whether the final segment ended in a torn or corrupt record
+// (an in-flight append, or the crash Open would truncate). The valid prefix
+// is unaffected.
+func (c *Chain) Torn() bool { return c.torn }
+
+// Close releases the mappings. Views that copied data out remain valid.
+func (c *Chain) Close() error {
+	for _, p := range c.parts {
+		p.close()
+	}
+	c.parts = nil
+	return nil
+}
+
+// RunBoundaries returns the ascending global event counts at which a
+// delivered run (one WAL record) ends. Compaction preserves record
+// batching, so these are the original delivery-run boundaries — the natural
+// cutoffs for replay. The final boundary equals Events() unless the chain
+// is empty.
+func (c *Chain) RunBoundaries() []uint64 {
+	var out []uint64
+	covered := uint64(0)
+	for _, p := range c.parts {
+		for k := range p.recs {
+			end := p.base + p.events
+			if k+1 < len(p.recs) {
+				end = p.base + p.recs[k+1].event
+			}
+			if end > covered {
+				out = append(out, end)
+				covered = end
+			}
+		}
+	}
+	return out
+}
+
+// ReplayRange streams events with global positions in [from, to) to fn in
+// their original run batching (the first and last runs are clipped as
+// needed). The batch slice is reused between calls. ReplayRange is
+// read-only and safe for concurrent use by independent callers.
+func (c *Chain) ReplayRange(from, to uint64, fn func(batch []model.Event) error) error {
+	if to > c.events {
+		return fmt.Errorf("wal: replay to %d, chain has %d events", to, c.events)
+	}
+	pos := from
+	var batch []model.Event
+	for _, p := range c.parts {
+		partEnd := p.base + p.events
+		if partEnd <= pos || len(p.recs) == 0 {
+			continue
+		}
+		if p.base >= to {
+			break
+		}
+		// Seek to the record containing pos.
+		k := sort.Search(len(p.recs), func(i int) bool { return p.base+p.recs[i].event > pos })
+		if k > 0 {
+			k--
+		}
+		for ; k < len(p.recs); k++ {
+			rec := p.recs[k]
+			recStart := p.base + rec.event
+			if recStart >= to {
+				break
+			}
+			n := binary.BigEndian.Uint32(p.data[rec.off:])
+			payload := p.data[rec.off+recordHeaderLen : rec.off+recordHeaderLen+int64(n)]
+			var err error
+			batch, err = decodeRun(batch[:0], payload)
+			if err != nil {
+				return fmt.Errorf("wal: %s: %w", p.path, err)
+			}
+			recEnd := recStart + uint64(len(batch))
+			lo, hi := uint64(0), uint64(len(batch))
+			if recStart < pos {
+				lo = pos - recStart
+			}
+			if recEnd > to {
+				hi -= recEnd - to
+			}
+			if lo < hi {
+				if err := fn(batch[lo:hi]); err != nil {
+					return err
+				}
+			}
+			if recEnd < to {
+				pos = recEnd
+			} else {
+				return nil
+			}
+		}
+	}
+	if pos < to {
+		return fmt.Errorf("wal: chain ran out at %d of requested %d events", pos, to)
+	}
+	return nil
+}
+
+// --- index sidecars -------------------------------------------------------
+
+const (
+	sidecarMagic   = "POETWIDX"
+	sidecarVersion = 1
+)
+
+// sidecarPath returns the .idx twin of a segment or snapshot path.
+func sidecarPath(path string) string {
+	path = strings.TrimSuffix(strings.TrimSuffix(path, ".log"), ".snap")
+	return path + ".idx"
+}
+
+// removeWithSidecar deletes a chain file together with its index sidecar.
+// Used by the writer (Open recovery, compaction cleanup) so sidecars never
+// outlive their source.
+func removeWithSidecar(path string) {
+	os.Remove(path)
+	os.Remove(sidecarPath(path))
+}
+
+// loadSidecar adopts a cached record index if it matches the (sealed)
+// source part exactly: same header identity, same byte length. Any
+// mismatch means "cache miss" — the caller rescans.
+func loadSidecar(part *chainPart, snapshot bool) bool {
+	raw, err := os.ReadFile(sidecarPath(part.path))
+	if err != nil || len(raw) < 8+1+1+4+8+4+8+8+4+4 {
+		return false
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(tail) {
+		return false
+	}
+	if string(body[:8]) != sidecarMagic || body[8] != sidecarVersion {
+		return false
+	}
+	kind := byte(0)
+	if snapshot {
+		kind = 1
+	}
+	if body[9] != kind {
+		return false
+	}
+	p := body[10:]
+	srcHdrCRC := binary.BigEndian.Uint32(p)
+	n := binary.BigEndian.Uint64(p[4:])
+	procs := binary.BigEndian.Uint32(p[12:])
+	validLen := int64(binary.BigEndian.Uint64(p[16:]))
+	events := binary.BigEndian.Uint64(p[24:])
+	records := binary.BigEndian.Uint32(p[32:])
+	p = p[36:]
+	if uint64(len(p)) != uint64(records)*16 {
+		return false
+	}
+	// Bind to the source: header identity and exact sealed length.
+	if len(part.data) < fileHeaderLen ||
+		binary.BigEndian.Uint32(part.data[20:]) != srcHdrCRC ||
+		binary.BigEndian.Uint64(part.data[8:]) != n ||
+		binary.BigEndian.Uint32(part.data[16:]) != procs ||
+		int64(len(part.data)) != validLen {
+		return false
+	}
+	recs := make([]recEntry, records)
+	for i := range recs {
+		recs[i].off = int64(binary.BigEndian.Uint64(p))
+		recs[i].event = binary.BigEndian.Uint64(p[8:])
+		p = p[16:]
+		if recs[i].off < fileHeaderLen || recs[i].off >= validLen {
+			return false
+		}
+	}
+	part.recs, part.events, part.validLen = recs, events, validLen
+	return true
+}
+
+// writeSidecar persists a part's record index next to it, atomically
+// (tmp + rename). Failures are ignored: the sidecar is a cache.
+func writeSidecar(part *chainPart, snapshot bool) {
+	if int64(len(part.data)) != part.validLen {
+		// Only seal-exact parts are cacheable (the load path requires it).
+		return
+	}
+	kind := byte(0)
+	if snapshot {
+		kind = 1
+	}
+	buf := make([]byte, 0, 8+1+1+36+len(part.recs)*16+4)
+	buf = append(buf, sidecarMagic...)
+	buf = append(buf, sidecarVersion, kind)
+	buf = appendU32(buf, binary.BigEndian.Uint32(part.data[20:]))
+	buf = appendU64(buf, binary.BigEndian.Uint64(part.data[8:]))
+	buf = appendU32(buf, binary.BigEndian.Uint32(part.data[16:]))
+	buf = appendU64(buf, uint64(part.validLen))
+	buf = appendU64(buf, part.events)
+	buf = appendU32(buf, uint32(len(part.recs)))
+	for _, r := range part.recs {
+		buf = appendU64(buf, uint64(r.off))
+		buf = appendU64(buf, r.event)
+	}
+	buf = appendU32(buf, crc32.Checksum(buf, crcTable))
+
+	final := sidecarPath(part.path)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+	}
+}

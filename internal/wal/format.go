@@ -152,17 +152,21 @@ func writeFileHeader(w io.Writer, magic string, n uint64, numProcs int) error {
 	return err
 }
 
-// readFileHeader reads and validates a segment or snapshot header.
+// readFileHeader reads and validates a segment or snapshot header. A header
+// that is short or fails its CRC is classified as crash damage (a file
+// creation that never fully reached the disk) via headerDamageError; a
+// well-formed header with the wrong magic is a hard error — that file was
+// never ours.
 func readFileHeader(r io.Reader, magic string) (n uint64, numProcs int, err error) {
 	var buf [fileHeaderLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, 0, fmt.Errorf("wal: short header: %w", err)
+		return 0, 0, &headerDamageError{fmt.Errorf("wal: short header: %w", err)}
+	}
+	if crc32.Checksum(buf[:20], crcTable) != binary.BigEndian.Uint32(buf[20:]) {
+		return 0, 0, &headerDamageError{errors.New("wal: header checksum mismatch")}
 	}
 	if string(buf[:8]) != magic {
 		return 0, 0, fmt.Errorf("wal: bad magic %q, want %q", buf[:8], magic)
-	}
-	if crc32.Checksum(buf[:20], crcTable) != binary.BigEndian.Uint32(buf[20:]) {
-		return 0, 0, fmt.Errorf("wal: header checksum mismatch")
 	}
 	return binary.BigEndian.Uint64(buf[8:]), int(binary.BigEndian.Uint32(buf[16:])), nil
 }

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the first size bytes of f into memory on platforms without
+// mmap. The chain reader only sees a byte slice either way; history larger
+// than RAM needs a unix build.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadAtLeast(f, data, int(size)); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

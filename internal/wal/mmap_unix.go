@@ -1,0 +1,25 @@
+//go:build unix
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the first size bytes of f read-only. Sealed chain parts are
+// immutable, so a shared mapping is safe; for the active segment the chain
+// only ever reads below the validated prefix captured at open. The mapping
+// survives a concurrent unlink (compaction deleting the file), which is what
+// lets a replay view outlive a rotation. Returns the mapped bytes and a
+// release function.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -209,6 +209,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	var snapCounts, segBases []uint64
+	var idxNames []string
 	for _, ent := range entries {
 		name := ent.Name()
 		switch {
@@ -216,6 +217,8 @@ func Open(dir string, opts Options) (*Log, error) {
 			// A compaction died mid-write; its seal is missing by
 			// construction, so the file is garbage.
 			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".idx"):
+			idxNames = append(idxNames, name)
 		default:
 			if n, ok := parseHexName(name, "snap-", ".snap"); ok {
 				snapCounts = append(snapCounts, n)
@@ -233,13 +236,13 @@ func Open(dir string, opts Options) (*Log, error) {
 	for _, n := range snapCounts {
 		path := filepath.Join(dir, snapName(n))
 		if l.snapPath != "" {
-			os.Remove(path)
+			removeWithSidecar(path)
 			continue
 		}
 		if count, err := validateSnapshot(path, opts.NumProcs); err == nil && count == n {
 			l.snapPath, l.snapCount = path, n
 		} else {
-			os.Remove(path)
+			removeWithSidecar(path)
 		}
 	}
 
@@ -248,8 +251,19 @@ func Open(dir string, opts Options) (*Log, error) {
 	var segs []segment
 	for i, b := range segBases {
 		path := filepath.Join(dir, segName(b))
-		events, records, torn, err := scanSegment(path, opts.NumProcs, b, i == len(segBases)-1)
+		last := i == len(segBases)-1
+		events, records, torn, err := scanSegment(path, opts.NumProcs, b, last)
 		if err != nil {
+			if last && isHeaderDamage(err) {
+				// A crash inside segment rotation: the new file's header
+				// never fully reached the disk, so it holds no recoverable
+				// events. Remove the husk; a fresh segment is created at
+				// the recovered end below.
+				removeWithSidecar(path)
+				l.torn = true
+				l.counters.TornRecords.Add(1)
+				continue
+			}
 			return nil, err
 		}
 		if torn {
@@ -259,7 +273,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		if b+events <= l.snapCount {
 			// Fully covered by the snapshot: a compaction finished but
 			// crashed before deleting its inputs.
-			os.Remove(path)
+			removeWithSidecar(path)
 			continue
 		}
 		segs = append(segs, segment{path: path, base: b, events: events})
@@ -273,6 +287,23 @@ func Open(dir string, opts Options) (*Log, error) {
 		} else if seg.base != segs[i-1].base+segs[i-1].events {
 			return nil, fmt.Errorf("wal: gap: segment %s starts at %d, previous ends at %d",
 				seg.path, seg.base, segs[i-1].base+segs[i-1].events)
+		}
+	}
+
+	// Index sidecars are caches keyed by their source file; one whose source
+	// is gone (or was just removed above) must not survive to shadow a
+	// future segment reusing the same base.
+	for _, name := range idxNames {
+		var src string
+		if _, ok := parseHexName(name, "wal-", ".idx"); ok {
+			src = strings.TrimSuffix(name, ".idx") + ".log"
+		} else if _, ok := parseHexName(name, "snap-", ".idx"); ok {
+			src = strings.TrimSuffix(name, ".idx") + ".snap"
+		} else {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, src)); err != nil {
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
 
@@ -723,10 +754,10 @@ func (l *Log) compact() error {
 	// The snapshot fully covers the old snapshot and the frozen segments;
 	// deleting them is safe in any crash order now that the seal is synced.
 	if oldSnapPath != "" {
-		os.Remove(oldSnapPath)
+		removeWithSidecar(oldSnapPath)
 	}
 	for _, seg := range frozen {
-		os.Remove(seg.path)
+		removeWithSidecar(seg.path)
 	}
 	return syncDir(l.dir)
 }

@@ -14,7 +14,7 @@ import (
 
 // testRuns slices a generated trace into runs of random sizes, mimicking the
 // variable-size runs the collector delivers.
-func testRuns(t *testing.T, seed int64, nEvents int) (runs [][]model.Event, numProcs int) {
+func testRuns(t testing.TB, seed int64, nEvents int) (runs [][]model.Event, numProcs int) {
 	t.Helper()
 	tr := workload.RandomSparse(8, 3, nEvents/3, seed)
 	r := rand.New(rand.NewSource(seed))
