@@ -30,7 +30,7 @@ bench-json:
 		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest|BenchmarkObsOverhead' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 	{ go test ./internal/monitor/ -run '^$$' \
-		-bench 'BenchmarkIngestColumnar|BenchmarkIngestParallel|BenchmarkQueryParallel/ingest=true' \
+		-bench 'BenchmarkIngestColumnar|BenchmarkIngestParallel|BenchmarkIngestMultiTenant|BenchmarkQueryParallel/ingest=true' \
 		-benchtime=100x -benchmem; \
 	  go test ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkQueryParallel/ingest=false' \

@@ -57,6 +57,17 @@
 //	poetd -procs 300 &
 //	poquery -addr 127.0.0.1:7777 -trace pvm/ring-300 -load -sample 50
 //
+// The daemon is multi-tenant: a connection that issues `TENANT <name>` (v1)
+// or a TENANT frame (v2) is scoped to that namespace, which owns its own
+// monitor pipeline, collector, WAL directory (`<walroot>/<tenant>/`) and
+// replay plane. Tenants are created on demand up to -max-tenants, each with
+// -max-processes processes and an optional -tenant-max-events quota; on
+// restart every tenant directory under the WAL root is discovered and
+// recovered. Connections that never select a tenant speak to the "default"
+// namespace, so pre-tenant clients work unchanged. A WAL root that already
+// holds pre-tenant segments (wal-*.log directly in the root) keeps serving
+// them as the default tenant's log — no migration needed.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting, waits
 // up to -grace for connected clients to finish their sessions, then closes
 // and reports the final ingestion statistics.
@@ -71,6 +82,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -101,11 +113,15 @@ func main() {
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown drain window")
 		shards    = flag.Int("ingest-shards", 0, "ingest shards (stamping lanes); 0 = GOMAXPROCS, 1 = single-writer")
-		walDir    = flag.String("wal", "", "write-ahead log directory (empty = no durability)")
+		walDir    = flag.String("wal", "", "write-ahead log root directory (empty = no durability); tenants use <root>/<tenant>/")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: always | batch | never")
 		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		slowOp    = flag.Duration("slow-op", 100*time.Millisecond, "log operations at least this slow at warn (0 = never)")
+
+		maxTenants   = flag.Int("max-tenants", monitor.DefaultMaxTenants, "maximum tenant namespaces served (the default tenant included)")
+		tenantProcs  = flag.Int("max-processes", 0, "monitored processes per on-demand tenant (0 = same as -procs)")
+		tenantEvents = flag.Int64("tenant-max-events", 0, "per-tenant event quota, recovered events included (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -137,9 +153,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "poetd: unknown strategy %q\n", *strat)
 		os.Exit(2)
 	}
-	m, err := monitor.NewSharded(*procs, newCfg(), *shards)
-	if err != nil {
-		fatal("monitor init failed", err)
+	var policy wal.SyncPolicy
+	if *walDir != "" {
+		p, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
+			os.Exit(2)
+		}
+		policy = p
 	}
 
 	reg := obs.NewRegistry()
@@ -147,15 +168,38 @@ func main() {
 	tel.SlowOp = *slowOp
 	tel.Logger = logger
 
-	var wlog *wal.Log
-	if *walDir != "" {
-		policy, err := wal.ParseSyncPolicy(*fsync)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "poetd: %v\n", err)
-			os.Exit(2)
+	// Pre-tenant WAL roots hold their segments directly (wal-*.log in the
+	// root); such a root keeps serving as the default tenant's directory.
+	// Tenant-aware roots lay each namespace out as <root>/<tenant>/.
+	legacyRoot := *walDir != "" && legacyWALLayout(*walDir)
+	tenantWALDir := func(name string) string {
+		if legacyRoot && name == monitor.DefaultTenant {
+			return *walDir
 		}
-		wlog, err = wal.Open(*walDir, wal.Options{
-			NumProcs:      *procs,
+		return filepath.Join(*walDir, name)
+	}
+
+	// newTenant builds one namespace's full serving stack: a sharded
+	// monitor, and — when durable — its WAL (recovered through the batched
+	// ingest path) plus a replay plane over the same directory. The server
+	// calls it once per namespace, on demand, and owns the returned Close.
+	newTenant := func(name string) (monitor.TenantResources, error) {
+		nprocs := *procs
+		if name != monitor.DefaultTenant && *tenantProcs > 0 {
+			nprocs = *tenantProcs
+		}
+		m, err := monitor.NewSharded(nprocs, newCfg(), *shards)
+		if err != nil {
+			return monitor.TenantResources{}, err
+		}
+		res := monitor.TenantResources{Monitor: m}
+		if *walDir == "" {
+			res.Close = func() error { m.Close(); return nil }
+			return res, nil
+		}
+		dir := tenantWALDir(name)
+		wlog, err := wal.Open(dir, wal.Options{
+			NumProcs:      nprocs,
 			Sync:          policy,
 			SnapshotEvery: *snapEvery,
 			AppendTimer:   tel.WALAppend,
@@ -163,59 +207,106 @@ func main() {
 			SnapshotTimer: tel.WALSnapshot,
 		})
 		if err != nil {
-			fatal("wal open failed", err)
+			m.Close()
+			return monitor.TenantResources{}, fmt.Errorf("wal open: %w", err)
 		}
-		wlog.RegisterMetrics(reg)
+		if name == monitor.DefaultTenant {
+			// The WAL's registry series have fixed names, so only one log
+			// can own them; the per-tenant counts are served by the
+			// tenant-labelled poetd_tenant_wal_events_total series instead.
+			wlog.RegisterMetrics(reg)
+		}
 		if n := wlog.RecoveredEvents(); n > 0 {
 			start := time.Now()
 			if err := wlog.Replay(m.DeliverBatch); err != nil {
-				fatal("wal replay failed", err)
+				wlog.Close()
+				m.Close()
+				return monitor.TenantResources{}, fmt.Errorf("wal replay: %w", err)
 			}
 			// Warn, not Info: a recovery means the previous run did not shut
 			// down cleanly, and operators filtering at warn should see it.
 			logger.Warn("wal recovered",
-				"events", n, "dir", *walDir,
+				"tenant", name, "events", n, "dir", dir,
 				"duration", time.Since(start).Round(time.Millisecond),
 				"records", wlog.RecoveredRecords(), "torn_tail", wlog.TornTail())
 		}
-	}
-
-	// A durable daemon also serves its own history: the replay plane opens
-	// the same WAL directory read-only and answers QUERY@ frames from sealed
-	// segments, never touching the ingest path.
-	var history *replay.Store
-	if *walDir != "" {
-		history, err = replay.Open(*walDir, replay.Options{
-			NumProcs:  *procs,
+		// A durable tenant also serves its own history: the replay plane
+		// opens the same WAL directory read-only and answers QUERY@ frames
+		// from sealed segments, never touching the ingest path.
+		history, err := replay.Open(dir, replay.Options{
+			NumProcs:  nprocs,
 			NewConfig: newCfg,
 			Obs:       tel,
 		})
 		if err != nil {
-			fatal("replay plane init failed", err)
+			wlog.Close()
+			m.Close()
+			return monitor.TenantResources{}, fmt.Errorf("replay plane: %w", err)
 		}
-		logger.Info("replay plane enabled", "dir", *walDir, "recorded_events", history.Events())
+		logger.Info("replay plane enabled", "tenant", name, "dir", dir, "recorded_events", history.Events())
+		res.Journal = wlog
+		res.History = history
+		res.WALEvents = wlog.Appended
+		res.Close = func() error {
+			history.Close()
+			m.Close()
+			if err := wlog.Close(); err != nil {
+				return fmt.Errorf("wal close: %w", err)
+			}
+			logger.Info("wal closed", "tenant", name, "stats", wlog.Stats())
+			return nil
+		}
+		return res, nil
 	}
 
-	srv := monitor.NewServer(m, monitor.ServerConfig{
+	srv, err := monitor.NewTenantServer(monitor.ServerConfig{
 		FixedVector:  *fixed,
 		MaxConns:     *maxConns,
 		MaxBatch:     *maxBatch,
 		SubmitQueue:  *queue,
 		IdleTimeout:  *idle,
 		WriteTimeout: *writeTO,
-		Journal:      journalOrNil(wlog),
-		History:      historyOrNil(history),
 		Obs:          tel,
+		Tenants: &monitor.TenantsConfig{
+			New:                newTenant,
+			MaxTenants:         *maxTenants,
+			MaxEventsPerTenant: *tenantEvents,
+		},
 	})
+	if err != nil {
+		fatal("server init failed", err)
+	}
+
+	// Startup discovery: every tenant directory under the WAL root is a
+	// namespace the previous run served — recover each now, so its durable
+	// history is queryable before any client reselects it.
+	if *walDir != "" {
+		entries, err := os.ReadDir(*walDir)
+		if err != nil && !os.IsNotExist(err) {
+			fatal("wal root scan failed", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || !monitor.ValidTenantName(name) || name == monitor.DefaultTenant {
+				continue
+			}
+			if _, err := srv.Tenant(name); err != nil {
+				fatal("tenant recovery failed", err)
+			}
+		}
+	}
+
+	m := srv.Default().Monitor()
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal("listen failed", err)
 	}
 	logger.Info("monitoring",
 		"procs", *procs, "addr", bound, "strategy", *strat,
-		"maxcs", *maxCS, "maxbatch", *maxBatch, "ingest_shards", m.IngestShards())
-	if wlog != nil {
-		logger.Info("wal enabled", "dir", *walDir, "fsync", *fsync, "snapshot_every", *snapEvery)
+		"maxcs", *maxCS, "maxbatch", *maxBatch, "ingest_shards", m.IngestShards(),
+		"tenants", srv.NumTenants(), "max_tenants", *maxTenants)
+	if *walDir != "" {
+		logger.Info("wal enabled", "dir", *walDir, "fsync", *fsync, "snapshot_every", *snapEvery, "legacy_layout", legacyRoot)
 	}
 
 	var ready atomic.Bool
@@ -245,7 +336,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	ready.Store(false)
-	logger.Info("draining", "grace", *grace)
+	logger.Info("draining", "grace", *grace, "tenants", srv.NumTenants())
+	tenants := srv.Tenants() // capture before Close empties nothing but keeps order stable
 	if err := srv.Shutdown(*grace); err != nil {
 		fatal("shutdown failed", err)
 	}
@@ -254,20 +346,13 @@ func main() {
 		admin.Shutdown(ctx)
 		cancel()
 	}
-	m.Close()
-	if history != nil {
-		history.Close()
+	for _, t := range tenants {
+		st := t.Monitor().Stats(*fixed)
+		logger.Info("final accounting",
+			"tenant", t.Name(), "events", st.Events,
+			"cluster_receives", st.ClusterReceives, "storage_ints", st.StorageInts)
 	}
-	st := m.Stats(*fixed)
-	logger.Info("final accounting",
-		"events", st.Events, "cluster_receives", st.ClusterReceives, "storage_ints", st.StorageInts)
 	logger.Info("final counters", "counters", srv.Counters().Snapshot().String())
-	if wlog != nil {
-		if err := wlog.Close(); err != nil {
-			fatal("wal close failed", err)
-		}
-		logger.Info("wal closed", "stats", wlog.Stats())
-	}
 }
 
 // parseLevel maps the -log-level flag onto a slog level.
@@ -285,21 +370,15 @@ func parseLevel(s string) (slog.Level, bool) {
 	return 0, false
 }
 
-// journalOrNil converts a possibly-nil *wal.Log into the server's journal
-// interface without producing a non-nil interface around a nil pointer.
-func journalOrNil(l *wal.Log) monitor.RunJournal {
-	if l == nil {
-		return nil
+// legacyWALLayout reports whether dir is a pre-tenant WAL directory: one
+// holding wal segments or snapshots directly rather than per-tenant
+// subdirectories. Such a directory keeps serving as the default tenant's
+// log, so daemons upgraded in place lose nothing.
+func legacyWALLayout(dir string) bool {
+	for _, pat := range []string{"wal-*.log", "snap-*.snap"} {
+		if names, _ := filepath.Glob(filepath.Join(dir, pat)); len(names) > 0 {
+			return true
+		}
 	}
-	return l
-}
-
-// historyOrNil converts a possibly-nil *replay.Store into the server's
-// history interface without producing a non-nil interface around a nil
-// pointer.
-func historyOrNil(s *replay.Store) monitor.HistoryProvider {
-	if s == nil {
-		return nil
-	}
-	return s
+	return false
 }

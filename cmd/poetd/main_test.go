@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/hct"
+	"repro/internal/model"
 	"repro/internal/monitor"
 	"repro/internal/strategy"
 	"repro/internal/workload"
@@ -138,9 +139,11 @@ func TestPoetdKillRecovery(t *testing.T) {
 		p2.cmd.Process.Kill()
 		p2.cmd.Wait()
 	}()
+	// The default tenant's log lives in the root's "default" subdirectory
+	// under the tenant-aware WAL layout.
 	recLine := p2.waitLine(t, "wal recovered")
-	if got := logAttr(t, recLine, "dir"); got != walDir {
-		t.Fatalf("recovery line %q names dir %q, want %q", recLine, got, walDir)
+	if got, want := logAttr(t, recLine, "dir"), filepath.Join(walDir, "default"); got != want {
+		t.Fatalf("recovery line %q names dir %q, want %q", recLine, got, want)
 	}
 	addr = boundAddr(t, p2.waitLine(t, "monitoring"))
 	sess, err = monitor.DialV2(addr)
@@ -202,6 +205,164 @@ func TestPoetdKillRecovery(t *testing.T) {
 	}
 
 	// Phase 5: graceful shutdown closes the log cleanly.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("poetd exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("poetd did not shut down after SIGTERM")
+	}
+}
+
+// TestPoetdMultiTenantKillRecovery is the multi-tenant crash battery: one
+// daemon serves three namespaces streaming colliding event IDs, is killed
+// with SIGKILL mid-ingest, restarted on the same WAL root, and must then
+// recover every namespace independently — each tenant's precedence answers
+// matching its own uninterrupted reference monitor, with no cross-tenant
+// bleed.
+func TestPoetdMultiTenantKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills the real daemon; skipped with -short")
+	}
+	bin := filepath.Join(t.TempDir(), "poetd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building poetd: %v", err)
+	}
+
+	// Three different computations over the same process IDs: every event ID
+	// exists in every namespace with a different causal past.
+	tenants := []string{"alpha", "beta", "gamma"}
+	traces := map[string]*model.Trace{
+		"alpha": workload.RandomSparse(8, 3, 300, 11),
+		"beta":  workload.RandomSparse(8, 3, 300, 22),
+		"gamma": workload.RandomSparse(8, 3, 300, 33),
+	}
+	walDir := t.TempDir()
+	args := []string{
+		"-procs", "8", "-addr", "127.0.0.1:0",
+		"-wal", walDir, "-fsync", "always", "-snapshot-every", "200",
+	}
+
+	// Phase 1: stream two thirds of each computation, then pull the plug.
+	p1 := startPoetd(t, bin, args...)
+	addr := boundAddr(t, p1.waitLine(t, "monitoring"))
+	for _, name := range tenants {
+		tr := traces[name]
+		sess, err := monitor.DialV2(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.SelectTenant(name); err != nil {
+			t.Fatalf("SelectTenant(%s): %v", name, err)
+		}
+		cut := len(tr.Events) * 2 / 3
+		for lo := 0; lo < cut; lo += 32 {
+			hi := lo + 32
+			if hi > cut {
+				hi = cut
+			}
+			if err := sess.ReportBatch(tr.Events[lo:hi]); err != nil {
+				t.Fatalf("%s ReportBatch[%d:%d]: %v", name, lo, hi, err)
+			}
+		}
+		sess.Close()
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no flush
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Each namespace must have its own WAL directory on disk.
+	for _, name := range tenants {
+		if fi, err := os.Stat(filepath.Join(walDir, name)); err != nil || !fi.IsDir() {
+			t.Fatalf("no WAL directory for tenant %s: %v", name, err)
+		}
+	}
+
+	// Phase 2: restart on the same root. Startup discovery must recover all
+	// three namespaces (plus default) before serving.
+	p2 := startPoetd(t, bin, args...)
+	defer func() {
+		p2.cmd.Process.Kill()
+		p2.cmd.Wait()
+	}()
+	banner := p2.waitLine(t, "monitoring")
+	addr = boundAddr(t, banner)
+	if got := logAttr(t, banner, "tenants"); got != "4" {
+		t.Fatalf("startup banner reports tenants=%s, want 4 (default+3 recovered)", got)
+	}
+
+	// Phase 3: per tenant — resend the full stream (recovered events are
+	// rejected politely), then check the sampled precedence matrix against
+	// that tenant's uninterrupted reference.
+	for _, name := range tenants {
+		tr := traces[name]
+		sess, err := monitor.DialV2(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.SelectTenant(name); err != nil {
+			t.Fatalf("SelectTenant(%s): %v", name, err)
+		}
+		rejected := 0
+		for _, e := range tr.Events {
+			if err := sess.Report(e); err != nil {
+				if !strings.Contains(err.Error(), "already delivered") {
+					t.Fatalf("%s: resubmitting %v: %v", name, e.ID, err)
+				}
+				rejected++
+			}
+		}
+		if rejected == 0 {
+			t.Fatalf("%s: no event rejected as already delivered: nothing recovered", name)
+		}
+
+		ref, err := monitor.New(tr.NumProcs, hct.Config{MaxClusterSize: 13, Decider: strategy.NewMergeOnFirst()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.DeliverAll(tr); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 200; k++ {
+			a := tr.Events[(k*7919)%len(tr.Events)].ID
+			b := tr.Events[(k*104729)%len(tr.Events)].ID
+			got, err := sess.Precedes(a, b)
+			if err != nil {
+				t.Fatalf("%s: Precedes(%v,%v): %v", name, a, b, err)
+			}
+			want, err := ref.Precedes(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s: Precedes(%v,%v) = %v after kill+recovery, reference %v", name, a, b, got, want)
+			}
+		}
+
+		// The tenant's STATS must account exactly its own computation.
+		stats, err := sess.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(stats, fmt.Sprintf("tenant=%s", name)) {
+			t.Fatalf("%s STATS %q lacks tenant attribution", name, stats)
+		}
+		if !strings.Contains(stats, fmt.Sprintf("events=%d ", len(tr.Events))) {
+			t.Fatalf("%s STATS %q: want events=%d", name, stats, len(tr.Events))
+		}
+		sess.Close()
+	}
+
+	// Phase 4: graceful shutdown closes every namespace's log cleanly.
 	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,14 @@
 // daemon's replay plane (requires poetd -wal):
 //
 //	poquery -addr 127.0.0.1:7777 -at 50000 -e 0:1 -f 1:5
+//
+// Multi-tenant daemons: -tenant scopes every mode to one namespace. Against
+// -addr the session is rescoped with the TENANT command before any traffic;
+// against -wal the tenant's subdirectory of the WAL root is opened
+// (`<walroot>/<tenant>/`; a pre-tenant root keeps serving as "default"):
+//
+//	poquery -addr 127.0.0.1:7777 -tenant blue -trace pvm/ring-300 -load -sample 50
+//	poquery -wal /var/lib/poetd/wal -tenant blue -at latest -e 0:1 -f 1:5
 package main
 
 import (
@@ -41,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -64,6 +73,7 @@ func main() {
 		traceName = flag.String("trace", "", "corpus computation to generate")
 		addr      = flag.String("addr", "", "query a running poetd at this address instead of a local monitor")
 		walDir    = flag.String("wal", "", "answer from this WAL directory's recorded history (replay plane, no daemon needed)")
+		tenant    = flag.String("tenant", "", "tenant namespace: scopes -addr sessions and selects the WAL subdirectory under -wal (empty = default)")
 		atArg     = flag.String("at", "", "time-travel cutoff: an event count, or 'latest' (with -wal or -addr)")
 		load      = flag.Bool("load", false, "with -addr: stream the trace to the daemon before querying")
 		eArg      = flag.String("e", "", "first event as proc:index")
@@ -93,11 +103,11 @@ func main() {
 	}
 
 	if *walDir != "" {
-		runReplay(*walDir, tr, newCfg, *atArg, *eArg, *fArg, *sample, *seed, *cut)
+		runReplay(resolveWALDir(*walDir, *tenant), tr, newCfg, *atArg, *eArg, *fArg, *sample, *seed, *cut)
 		return
 	}
 	if *addr != "" {
-		runRemote(*addr, tr, *load, *atArg, *eArg, *fArg, *sample, *seed, *cut, *watch, *watchN)
+		runRemote(*addr, *tenant, tr, *load, *atArg, *eArg, *fArg, *sample, *seed, *cut, *watch, *watchN)
 		return
 	}
 	if *watch > 0 {
@@ -105,6 +115,9 @@ func main() {
 	}
 	if *atArg != "" {
 		fatal(fmt.Errorf("-at requires -wal or -addr"))
+	}
+	if *tenant != "" {
+		fatal(fmt.Errorf("-tenant requires -wal or -addr"))
 	}
 	if tr == nil {
 		fatal(fmt.Errorf("need -in or -trace"))
@@ -216,6 +229,24 @@ func configFactory(maxCS int, strat string, threshold float64) (func() hct.Confi
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown strategy %q", strat)
+}
+
+// resolveWALDir maps a WAL root plus a -tenant selection onto the directory
+// the replay plane should open. Tenant-aware daemons lay namespaces out as
+// <root>/<tenant>/; a pre-tenant root (or a path pointing straight at one
+// tenant's directory) holds its segments directly and serves as "default".
+func resolveWALDir(root, tenant string) string {
+	if tenant == "" {
+		tenant = monitor.DefaultTenant
+	}
+	sub := filepath.Join(root, tenant)
+	if st, err := os.Stat(sub); err == nil && st.IsDir() {
+		return sub
+	}
+	if tenant == monitor.DefaultTenant {
+		return root // pre-tenant layout: segments live in the root itself
+	}
+	return sub // let replay.Open report the missing namespace
 }
 
 // parseCutoff maps the -at flag onto a replay cutoff.
@@ -357,7 +388,7 @@ func runReplay(dir string, tr *model.Trace, newCfg func() hct.Config, atArg, eAr
 // available locally its Fidge/Mattern clocks validate the remote answers.
 // With -at the queries are QUERY@ frames, answered by the daemon's replay
 // plane as of the cutoff instead of the live store.
-func runRemote(addr string, tr *model.Trace, load bool, atArg, eArg, fArg string, sample int, seed int64, cut bool, watch time.Duration, watchN int) {
+func runRemote(addr, tenant string, tr *model.Trace, load bool, atArg, eArg, fArg string, sample int, seed int64, cut bool, watch time.Duration, watchN int) {
 	if cut {
 		fatal(fmt.Errorf("-cut requires a local monitor (drop -addr)"))
 	}
@@ -366,6 +397,13 @@ func runRemote(addr string, tr *model.Trace, load bool, atArg, eArg, fArg string
 		fatal(err)
 	}
 	defer sess.Close()
+	if tenant != "" {
+		// Rescope before any traffic: every subsequent report/query/stats
+		// exchange on this session routes to the tenant's store.
+		if err := sess.SelectTenant(tenant); err != nil {
+			fatal(err)
+		}
+	}
 
 	if load {
 		if tr == nil {

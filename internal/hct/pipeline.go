@@ -123,16 +123,16 @@ type Pipeline struct {
 	smap    []int32 // process -> shard
 
 	// planMu guards the planner state below and the partition.
-	planMu   sync.Mutex
-	next     []model.EventIndex                // per process, next expected index
-	pendSend map[model.EventID]model.EventID   // in-flight send -> its receive
-	syncHold *model.Event                      // first half of an in-flight sync pair
+	planMu    sync.Mutex
+	next      []model.EventIndex              // per process, next expected index
+	pendSend  map[model.EventID]model.EventID // in-flight send -> its receive
+	syncHold  *model.Event                    // first half of an in-flight sync pair
 	events    int
 	crEvents  int
 	mergedCRs int
-	issued   []uint64 // items dispatched per shard
-	curBufs  [][]item // per-shard staging buffers for the current Dispatch
-	closed   bool
+	issued    []uint64 // items dispatched per shard
+	curBufs   [][]item // per-shard staging buffers for the current Dispatch
+	closed    bool
 
 	lanes []*lane
 	rv    rendezvous

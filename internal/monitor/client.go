@@ -24,6 +24,11 @@ type Session interface {
 	Concurrent(e, f model.EventID) (bool, error)
 	// Stats fetches the server's statistics body.
 	Stats() (string, error)
+	// SelectTenant scopes the session to a tenant namespace: every
+	// subsequent report/query/stats exchange routes to that tenant's
+	// store. A session that never selects one speaks to the server's
+	// "default" tenant. On error the previous scope is unchanged.
+	SelectTenant(name string) error
 	// Close ends the session.
 	Close() error
 }
@@ -168,6 +173,18 @@ func (c *Client) Stats() (string, error) {
 		return "", fmt.Errorf("monitor: server: %s", resp)
 	}
 	return strings.TrimPrefix(resp, "STATS "), nil
+}
+
+// SelectTenant scopes the session to a tenant namespace (v1 TENANT command).
+func (c *Client) SelectTenant(name string) error {
+	resp, err := c.roundTrip("TENANT " + name)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("monitor: server: %s", resp)
+	}
+	return nil
 }
 
 // Close ends the session.
@@ -396,6 +413,21 @@ func (c *ClientV2) Stats() (string, error) {
 		return "", errFromFrame(frameStatsR, typ, payload)
 	}
 	return string(payload), nil
+}
+
+// SelectTenant scopes the session to a tenant namespace (TENANT frame).
+func (c *ClientV2) SelectTenant(name string) error {
+	typ, payload, err := c.exchange(frameTenant, []byte(name))
+	if err != nil {
+		return err
+	}
+	if typ != frameAck {
+		return errFromFrame(frameAck, typ, payload)
+	}
+	if _, err := decodeAckPayload(payload); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Close sends QUIT (best-effort) and closes the connection.

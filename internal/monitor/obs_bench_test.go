@@ -58,7 +58,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 				}
 
 				b.StopTimer()
-				if held := srv.collector.Held(); held != 0 {
+				if held := srv.Default().Held(); held != 0 {
 					b.Fatalf("%d events held after ingestion", held)
 				}
 				sess.Close()

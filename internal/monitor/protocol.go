@@ -46,10 +46,18 @@ import (
 //	               recorded); RESULTS come back as for QUERY. Rejected with
 //	               ERR when the server has no replay plane.
 //	STATS  c->s  empty
-//	STATSR s->c  the v1 STATS body as text ("events=... crs=...")
+//	STATSR s->c  the v1 STATS body as text ("tenant=... events=... crs=...")
 //	ERR    s->c  utf-8 message           (frame rejected; connection lives)
 //	QUIT   c->s  empty
 //	BYE    s->c  empty                   (connection closes)
+//	TENANT c->s  utf-8 namespace name. Scopes the connection: every
+//	               subsequent EVENTS/QUERY/QUERY@/STATS frame routes to that
+//	               tenant's store. Acknowledged with ACK(0) on success, ERR
+//	               on an unknown/invalid name or an exhausted tenant quota
+//	               (the connection stays scoped as before and lives on). A
+//	               connection that never sends TENANT speaks to the
+//	               "default" tenant, which keeps pre-tenant clients
+//	               byte-compatible.
 //
 // Decoding is strict and canonical: a payload must be consumed exactly, so
 // every accepted payload re-encodes to identical bytes (the fuzz harness
@@ -76,6 +84,7 @@ const (
 	frameQuit    byte = 0x09
 	frameBye     byte = 0x0a
 	frameQueryAt byte = 0x0b
+	frameTenant  byte = 0x0c
 )
 
 // maxFramePayload is the hard framing cap. A frame claiming more than this

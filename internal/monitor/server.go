@@ -31,6 +31,7 @@ import (
 //	PRECEDES <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
 //	CONCURRENT <proc>:<idx> <proc>:<idx> -> TRUE | FALSE | ERR <msg>
 //	STATS                              -> STATS events=<n> crs=<n> ...
+//	TENANT <name>                      -> OK | ERR <msg>  (rescopes the connection)
 //	QUIT                               -> BYE (closes the connection)
 //
 // Protocol v2 — length-prefixed binary frames carrying batches of events
@@ -44,18 +45,27 @@ import (
 // Events may arrive out of order across connections; the server feeds them
 // through a Collector. The server is safe for many concurrent connections
 // and enforces the configured connection, batch-size and deadline limits.
+//
+// The server is namespace-aware: every connection is scoped to one tenant
+// (the v1 `TENANT <name>` command / v2 TENANT frame selects it; absent
+// selection it is the "default" tenant) and all EVENTS/QUERY/QUERY@/STATS
+// traffic routes to that tenant's Collector, Monitor and replay plane. See
+// tenant.go for the registry and quota model.
 type Server struct {
-	monitor   *Monitor
-	collector *Collector
-	cfg       ServerConfig
-	counters  metrics.ServerCounters
-	obs       *obs.Telemetry // nil: uninstrumented
-	start     time.Time
-	submitQ   chan submitReq
+	cfg      ServerConfig
+	counters metrics.ServerCounters
+	obs      *obs.Telemetry // nil: uninstrumented
+	start    time.Time
+	submitQ  chan submitReq
+
+	def      *Tenant // the "default" namespace; never nil
+	tenantMu sync.Mutex
+	tenants  map[string]*Tenant
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
+	drained  chan struct{}  // non-nil while Shutdown waits; closed by the last conn's teardown
 	wg       sync.WaitGroup // accept loop + connection goroutines
 	ingestWG sync.WaitGroup // ingest worker
 	closed   bool
@@ -99,6 +109,12 @@ type ServerConfig struct {
 	// live gauges on the registry. A Telemetry must serve at most one
 	// Server (its metric names register once).
 	Obs *obs.Telemetry
+	// Tenants, when non-nil, enables multi-tenant serving: TENANT
+	// selections beyond the default namespace are satisfied by its factory,
+	// subject to its MaxTenants / MaxEventsPerTenant quotas. A nil Tenants
+	// leaves the server single-tenant — TENANT selections other than
+	// "default" are rejected, and nothing else changes.
+	Tenants *TenantsConfig
 }
 
 // HistoryProvider hands out frozen query surfaces over recorded history.
@@ -133,9 +149,10 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	return c
 }
 
-// submitReq is one event batch queued for ingestion, with the channel the
-// acknowledging writer waits on.
+// submitReq is one event batch queued for ingestion, with the tenant it
+// routes to and the channel the acknowledging writer waits on.
 type submitReq struct {
+	tenant *Tenant
 	events []model.Event
 	reply  chan submitResult
 }
@@ -147,40 +164,70 @@ type submitResult struct {
 	err      error
 }
 
-// NewServer wraps a monitor for network serving.
+// NewServer wraps a monitor for network serving. The monitor (and the
+// optional Journal/History in cfg) become the "default" tenant's serving
+// stack; their lifecycles stay with the caller. Additional tenants are
+// served only when cfg.Tenants carries a factory — see NewTenantServer for
+// a server that owns every tenant's resources, the default included.
 func NewServer(m *Monitor, cfg ServerConfig) *Server {
-	cfg = cfg.withDefaults()
-	collector := NewCollector(m)
-	collector.journal = cfg.Journal
-	// The server runs the collector in pipelined mode: flush dispatches each
-	// run to the monitor's ingest shards without waiting for the stamps to
-	// publish, so the ingest worker immediately returns to draining the
-	// submit queue. Query surfaces issue IngestBarrier first, preserving
-	// the v1/v2 guarantee that an acknowledged event is queryable.
-	collector.pipelined = true
-	s := &Server{
-		monitor:   m,
-		collector: collector,
-		cfg:       cfg,
-		obs:       cfg.Obs,
-		start:     time.Now(),
-		submitQ:   make(chan submitReq, cfg.SubmitQueue),
-		conns:     make(map[net.Conn]struct{}),
+	s := newServerShell(cfg)
+	def := s.newTenant(DefaultTenant, TenantResources{
+		Monitor: m,
+		Journal: s.cfg.Journal,
+		History: s.cfg.History,
+	}, false)
+	s.install(def)
+	return s
+}
+
+// NewTenantServer builds a fully factory-driven multi-tenant server: the
+// default tenant is created through cfg.Tenants.New like every other
+// namespace, and the server owns (and closes) all tenant resources.
+func NewTenantServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Tenants == nil || cfg.Tenants.New == nil {
+		return nil, errors.New("monitor: NewTenantServer requires a tenant factory (ServerConfig.Tenants.New)")
 	}
-	if s.obs != nil {
-		collector.deliverHist = s.obs.DeliverBatch
-		collector.runHist = s.obs.RunEvents
-		if s.obs.CrossShardWait != nil {
-			m.Pipeline().SetWaitObserver(s.obs.CrossShardWait)
+	s := newServerShell(cfg)
+	res, err := cfg.Tenants.New(DefaultTenant)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: creating tenant %q: %w", DefaultTenant, err)
+	}
+	if res.Monitor == nil {
+		if res.Close != nil {
+			res.Close()
 		}
-		if s.obs.Registry != nil {
-			s.registerMetrics(s.obs.Registry)
-		}
+		return nil, fmt.Errorf("monitor: tenant factory returned no monitor for %q", DefaultTenant)
+	}
+	s.install(s.newTenant(DefaultTenant, res, true))
+	return s, nil
+}
+
+// newServerShell builds the tenant-independent part of a server.
+func newServerShell(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		obs:     cfg.Obs,
+		start:   time.Now(),
+		submitQ: make(chan submitReq, cfg.SubmitQueue),
+		conns:   make(map[net.Conn]struct{}),
+		tenants: make(map[string]*Tenant),
+	}
+}
+
+// install registers the default tenant and starts serving.
+func (s *Server) install(def *Tenant) {
+	s.def = def
+	s.tenants[DefaultTenant] = def
+	if s.obs != nil && s.obs.Registry != nil {
+		s.registerMetrics(s.obs.Registry)
 	}
 	s.ingestWG.Add(1)
 	go s.ingestLoop()
-	return s
 }
+
+// Default returns the "default" tenant.
+func (s *Server) Default() *Tenant { return s.def }
 
 // Counters exposes the server's throughput counters (for dashboards and
 // benchmarks).
@@ -194,20 +241,28 @@ func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
 func (s *Server) ingestLoop() {
 	defer s.ingestWG.Done()
 	for req := range s.submitQ {
-		n, err := s.submitInstrumented(req.events)
+		n, err := s.submitInstrumented(req.tenant, req.events)
 		req.reply <- submitResult{accepted: n, err: err}
 	}
 }
 
-// submitInstrumented is SubmitBatch wrapped in the ingest telemetry: the
-// end-to-end batch latency histogram and one op-trace record per batch.
-func (s *Server) submitInstrumented(events []model.Event) (int, error) {
+// submitInstrumented is SubmitBatch on a tenant's collector wrapped in the
+// quota gate and the ingest telemetry: the end-to-end batch latency
+// histogram and one op-trace record per batch. An over-quota batch is
+// rejected whole before touching the collector.
+func (s *Server) submitInstrumented(t *Tenant, events []model.Event) (int, error) {
+	if err := t.checkQuota(len(events)); err != nil {
+		return 0, err
+	}
 	o := s.obs
 	if o == nil {
-		return s.collector.SubmitBatch(events)
+		n, err := t.collector.SubmitBatch(events)
+		t.accepted.Add(int64(n))
+		return n, err
 	}
 	start := time.Now()
-	n, err := s.collector.SubmitBatch(events)
+	n, err := t.collector.SubmitBatch(events)
+	t.accepted.Add(int64(n))
 	d := time.Since(start)
 	o.IngestBatch.Observe(d)
 	o.RecordOp(obs.OpIngest, len(events), start, d, err)
@@ -272,6 +327,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
+		// A draining Shutdown waits on s.drained; the teardown of the last
+		// connection signals it so shutdown returns immediately instead of
+		// discovering the empty table on a poll tick.
+		if len(s.conns) == 0 && s.drained != nil {
+			close(s.drained)
+			s.drained = nil
+		}
 		s.mu.Unlock()
 		conn.Close()
 	}()
@@ -312,6 +374,7 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	w := bufio.NewWriter(conn)
+	cur := s.def // the connection's tenant scope; TENANT reselects it
 	for {
 		s.setReadDeadline(conn)
 		if !sc.Scan() {
@@ -322,7 +385,10 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader) {
 			continue
 		}
 		s.counters.LinesRead.Add(1)
-		resp, quit := s.handle(line)
+		resp, quit, next := s.handle(cur, line)
+		if next != nil {
+			cur = next
+		}
 		fmt.Fprintln(w, resp)
 		s.setWriteDeadline(conn)
 		if err := w.Flush(); err != nil {
@@ -334,14 +400,15 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader) {
 	}
 }
 
-// handle executes one v1 protocol line.
-func (s *Server) handle(line string) (resp string, quit bool) {
+// handle executes one v1 protocol line against the connection's current
+// tenant scope. A non-nil next rescopes the connection (TENANT command).
+func (s *Server) handle(cur *Tenant, line string) (resp string, quit bool, next *Tenant) {
 	fields := strings.Fields(line)
 	switch strings.ToUpper(fields[0]) {
 	case "EVENT":
 		if len(fields) < 3 {
 			s.counters.ProtocolErrors.Add(1)
-			return "ERR event syntax", false
+			return "ERR event syntax", false, nil
 		}
 		var parseStart time.Time
 		if s.obs != nil {
@@ -353,31 +420,31 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 		}
 		if err != nil {
 			s.counters.ProtocolErrors.Add(1)
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error(), false, nil
 		}
 		batch := [1]model.Event{e}
-		n, err := s.submitInstrumented(batch[:])
+		n, err := s.submitInstrumented(cur, batch[:])
 		// The applied prefix counts even when a later stage (drain, journal)
 		// failed: the record is in the collector and will be delivered.
 		s.counters.EventsIngested.Add(int64(n))
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error(), false, nil
 		}
-		return "OK", false
+		return "OK", false, nil
 	case "PRECEDES", "CONCURRENT":
 		if len(fields) != 3 {
 			s.counters.ProtocolErrors.Add(1)
-			return "ERR query syntax", false
+			return "ERR query syntax", false, nil
 		}
 		a, err1 := parseServerID(fields[1])
 		b, err2 := parseServerID(fields[2])
 		if err1 != nil || err2 != nil {
 			s.counters.ProtocolErrors.Add(1)
-			return "ERR bad event id", false
+			return "ERR bad event id", false, nil
 		}
 		// An acknowledged event must be queryable: wait out any stamps
 		// still in flight in the ingest shards before answering.
-		s.monitor.IngestBarrier()
+		cur.monitor.IngestBarrier()
 		var queryStart time.Time
 		if s.obs != nil {
 			queryStart = time.Now()
@@ -385,9 +452,9 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 		var res bool
 		var err error
 		if strings.ToUpper(fields[0]) == "PRECEDES" {
-			res, err = s.monitor.Precedes(a, b)
+			res, err = cur.monitor.Precedes(a, b)
 		} else {
-			res, err = s.monitor.Concurrent(a, b)
+			res, err = cur.monitor.Concurrent(a, b)
 		}
 		if o := s.obs; o != nil {
 			d := time.Since(queryStart)
@@ -396,41 +463,58 @@ func (s *Server) handle(line string) (resp string, quit bool) {
 		}
 		s.counters.QueryFrames.Add(1)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error(), false, nil
 		}
 		s.counters.QueriesAnswered.Add(1)
+		cur.queries.Add(1)
 		if res {
-			return "TRUE", false
+			return "TRUE", false, nil
 		}
-		return "FALSE", false
+		return "FALSE", false, nil
+	case "TENANT":
+		if len(fields) != 2 {
+			s.counters.ProtocolErrors.Add(1)
+			return "ERR tenant syntax", false, nil
+		}
+		t, err := s.Tenant(fields[1])
+		if err != nil {
+			s.counters.ProtocolErrors.Add(1)
+			return "ERR " + err.Error(), false, nil
+		}
+		return "OK", false, t
 	case "STATS":
-		return "STATS " + s.statsBody(), false
+		return "STATS " + s.statsBody(cur), false, nil
 	case "QUIT":
-		return "BYE", true
+		return "BYE", true, nil
 	default:
 		s.counters.ProtocolErrors.Add(1)
-		return "ERR unknown command", false
+		return "ERR unknown command", false, nil
 	}
 }
 
-// statsBody renders the shared STATS payload: monitor accounting, collector
-// backlog, the throughput counters with their rates since start, the ingest
-// shard layout with per-shard event tallies, and — when a write-ahead
-// journal is attached — the journal's durability counters.
-func (s *Server) statsBody() string {
-	st := s.monitor.Stats(s.cfg.FixedVector)
+// statsBody renders the shared STATS payload for one tenant scope: monitor
+// accounting, collector backlog, the throughput counters with their rates
+// since start, the ingest shard layout with per-shard event tallies, and —
+// when a write-ahead journal is attached — the journal's durability
+// counters. The monitor accounting, backlog, shard tallies and journal
+// counters are the scoped tenant's; the throughput counters and rates are
+// server-wide. The tenant=<name> field is new in the tenant-aware dialect;
+// metrics.ParseSnapshot skips non-numeric values, so older remote readers
+// parse the body unchanged.
+func (s *Server) statsBody(t *Tenant) string {
+	st := t.monitor.Stats(s.cfg.FixedVector)
 	snap := s.counters.Snapshot()
 	rates := snap.Rates(time.Since(s.start))
-	body := fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f",
-		st.Events, st.ClusterReceives, st.LiveClusters, s.collector.Held(), st.StorageInts,
-		snap, rates.EventsPerSec, rates.QueriesPerSec)
-	pipe := s.monitor.Pipeline()
+	body := fmt.Sprintf("events=%d crs=%d clusters=%d held=%d storage=%d %s events_per_sec=%.0f queries_per_sec=%.0f tenant=%s tenants=%d",
+		st.Events, st.ClusterReceives, st.LiveClusters, t.collector.Held(), st.StorageInts,
+		snap, rates.EventsPerSec, rates.QueriesPerSec, t.name, s.NumTenants())
+	pipe := t.monitor.Pipeline()
 	body += fmt.Sprintf(" shards=%d xwaits=%d", pipe.IngestShards(), pipe.CrossShardWaits())
 	for i, n := range pipe.ShardEventsInto(nil) {
 		body += fmt.Sprintf(" shard%d=%d", i, n)
 	}
-	if s.cfg.Journal != nil {
-		body += " " + s.cfg.Journal.Stats()
+	if t.journal != nil {
+		body += " " + t.journal.Stats()
 	}
 	return body
 }
@@ -460,7 +544,11 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 		wwg.Wait()
 	}()
 
-	out <- outItem{typ: frameHello, payload: encodeHelloPayload(protocolV2Version, s.monitor.NumProcs(), s.cfg.MaxBatch)}
+	// HELLO announces the default tenant's process count; a later TENANT
+	// selection may scope the connection to a namespace with a different
+	// one (the field is informational — batches are validated per event).
+	out <- outItem{typ: frameHello, payload: encodeHelloPayload(protocolV2Version, s.def.monitor.NumProcs(), s.cfg.MaxBatch)}
+	cur := s.def // the connection's tenant scope; TENANT frames reselect it
 	for {
 		s.setReadDeadline(conn)
 		typ, payload, err := readFrame(r)
@@ -491,7 +579,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				continue
 			}
 			reply := make(chan submitResult, 1)
-			s.submitQ <- submitReq{events: events, reply: reply} // blocks when full: backpressure
+			s.submitQ <- submitReq{tenant: cur, events: events, reply: reply} // blocks when full: backpressure
 			out <- outItem{wait: reply, n: len(events)}
 		case frameQuery:
 			var decodeStart time.Time
@@ -509,12 +597,12 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			}
 			// As on the v1 path: acknowledged events must be visible to
 			// this frame's queries, so drain the in-flight stamps first.
-			s.monitor.IngestBarrier()
+			cur.monitor.IngestBarrier()
 			var queryStart time.Time
 			if s.obs != nil {
 				queryStart = time.Now()
 			}
-			res := s.monitor.QueryBatch(qs)
+			res := cur.monitor.QueryBatch(qs)
 			if o := s.obs; o != nil {
 				d := time.Since(queryStart)
 				o.QueryBatch.Observe(d)
@@ -522,6 +610,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))
+			cur.queries.Add(int64(len(res)))
 			out <- outItem{typ: frameResults, payload: encodeResultsPayload(res)}
 		case frameQueryAt:
 			var decodeStart time.Time
@@ -537,7 +626,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
 				continue
 			}
-			if s.cfg.History == nil {
+			if cur.history == nil {
 				s.counters.ProtocolErrors.Add(1)
 				out <- outItem{typ: frameErr, payload: []byte("monitor: no replay plane attached")}
 				continue
@@ -548,7 +637,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			if s.obs != nil {
 				queryStart = time.Now()
 			}
-			view, err := s.cfg.History.HistoryAt(cutoff)
+			view, err := cur.history.HistoryAt(cutoff)
 			if err != nil {
 				if o := s.obs; o != nil {
 					d := time.Since(queryStart)
@@ -566,9 +655,22 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))
+			cur.queries.Add(int64(len(res)))
 			out <- outItem{typ: frameResults, payload: encodeResultsPayload(res)}
+		case frameTenant:
+			t, err := s.Tenant(string(payload))
+			if err != nil {
+				s.counters.ProtocolErrors.Add(1)
+				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
+				continue
+			}
+			cur = t
+			// ACK(0): the selection frame carries no events; reusing the
+			// acknowledgement frame keeps the reply alphabet unchanged for
+			// pre-tenant clients and the fuzz harness.
+			out <- outItem{typ: frameAck, payload: encodeAckPayload(0)}
 		case frameStats:
-			out <- outItem{typ: frameStatsR, payload: []byte(s.statsBody())}
+			out <- outItem{typ: frameStatsR, payload: []byte(s.statsBody(cur))}
 		case frameQuit:
 			out <- outItem{typ: frameBye}
 			return
@@ -681,6 +783,11 @@ func parseServerID(s string) (model.EventID, error) {
 // for the remaining connections to finish their sessions (clients QUIT)
 // before forcing them closed via Close. In-flight batches are ingested
 // either way; the returned error reports events stranded in the collector.
+//
+// The wait is event-driven: the teardown of the last live connection
+// signals the drain channel, so Shutdown returns the moment the server is
+// idle instead of on the next tick of a poll loop. grace <= 0 skips the
+// wait entirely (immediate forced close, as before).
 func (s *Server) Shutdown(grace time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
@@ -688,26 +795,34 @@ func (s *Server) Shutdown(grace time.Duration) error {
 		return ErrClosed
 	}
 	ln := s.listener
+	var drained chan struct{}
+	if grace > 0 && len(s.conns) > 0 {
+		drained = make(chan struct{})
+		s.drained = drained
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close() // stop accepting; acceptLoop exits
 	}
-	deadline := time.Now().Add(grace)
-	for time.Now().Before(deadline) {
-		s.mu.Lock()
-		n := len(s.conns)
-		s.mu.Unlock()
-		if n == 0 {
-			break
+	if drained != nil {
+		timer := time.NewTimer(grace)
+		select {
+		case <-drained:
+		case <-timer.C:
+			// Grace expired with connections still live; Close forces them.
+			// Their teardowns may still close s.drained afterwards — that is
+			// harmless, nobody waits on it anymore and it is nil'd under mu.
 		}
-		time.Sleep(5 * time.Millisecond)
+		timer.Stop()
 	}
 	return s.Close()
 }
 
 // Close stops the listener, closes all connections, waits for the serving
-// goroutines, and drains the ingest queue; buffered events stranded in the
-// collector are reported as an error.
+// goroutines, and drains the ingest queue; then every tenant's pipeline is
+// barriered and its collector closed (and, for factory-created tenants, its
+// resources released). Buffered events stranded in any collector are
+// reported as an error.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -726,6 +841,23 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	close(s.submitQ) // connections are gone; the worker drains and exits
 	s.ingestWG.Wait()
-	s.monitor.IngestBarrier() // publish everything the collector dispatched
-	return s.collector.Close()
+	var errs []error
+	for _, t := range s.Tenants() {
+		t.monitor.IngestBarrier() // publish everything the collector dispatched
+		if err := t.collector.Close(); err != nil {
+			if t.name != DefaultTenant {
+				err = fmt.Errorf("tenant %q: %w", t.name, err)
+			}
+			errs = append(errs, err)
+		}
+		if t.closeRes != nil {
+			if err := t.closeRes(); err != nil {
+				errs = append(errs, fmt.Errorf("tenant %q: closing resources: %w", t.name, err))
+			}
+		}
+	}
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	return errors.Join(errs...)
 }

@@ -33,14 +33,44 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	counter("poetd_conns_accepted_total", "Connections admitted.", c.ConnsAccepted.Load)
 	counter("poetd_conns_rejected_total", "Connections refused at the MaxConns limit.", c.ConnsRejected.Load)
 
-	reg.GaugeFunc("poetd_collector_held", "Events buffered in the collector awaiting deliverability.",
-		func() float64 { return float64(s.collector.Held()) })
+	reg.GaugeFunc("poetd_collector_held", "Events buffered in the default tenant's collector awaiting deliverability.",
+		func() float64 { return float64(s.def.collector.Held()) })
 	reg.GaugeFunc("poetd_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 
+	// Tenant instruments: the namespace count plus one tenant-labelled
+	// series per ingest/query/WAL/backlog axis. The scrape closures reuse
+	// their value maps across scrapes like the other vector gauges; tenant
+	// names are already interned strings, so no per-scrape label churn.
+	reg.GaugeFunc("poet_tenants", "Live tenant namespaces served.",
+		func() float64 { return float64(s.NumTenants()) })
+	tenantVec := func(name, help string, v func(t *Tenant) float64) {
+		vals := make(map[string]float64)
+		reg.GaugeVecFunc(name, help, "tenant", func() map[string]float64 {
+			clear(vals)
+			for _, t := range s.Tenants() {
+				vals[t.name] = v(t)
+			}
+			return vals
+		})
+	}
+	tenantVec("poetd_tenant_events_ingested_total", "Events accepted into each tenant's collector (recovered events included).",
+		func(t *Tenant) float64 { return float64(t.accepted.Load()) })
+	tenantVec("poetd_tenant_queries_answered_total", "Individual precedence queries answered per tenant (live and replay).",
+		func(t *Tenant) float64 { return float64(t.queries.Load()) })
+	tenantVec("poetd_tenant_collector_held", "Events buffered in each tenant's collector awaiting deliverability.",
+		func(t *Tenant) float64 { return float64(t.collector.Held()) })
+	tenantVec("poetd_tenant_wal_events_total", "Events appended to each tenant's write-ahead log (0 when not durable).",
+		func(t *Tenant) float64 {
+			if t.walEvents == nil {
+				return 0
+			}
+			return float64(t.walEvents())
+		})
+
 	// Ingest-shard instruments. The per-shard tally reuses its snapshot
 	// buffer and label strings across scrapes, like the cluster-size vector.
-	pipe := s.monitor.Pipeline()
+	pipe := s.def.monitor.Pipeline()
 	reg.GaugeFunc("poetd_ingest_shards", "Configured ingest shards (stamping lanes).",
 		func() float64 { return float64(pipe.IngestShards()) })
 	counter("poetd_cross_shard_waits_total",
@@ -64,8 +94,9 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			return shardVals
 		})
 
-	// The paper's Section 4 metrics as live instruments.
-	m := s.monitor
+	// The paper's Section 4 metrics as live instruments (default tenant —
+	// the per-tenant breakdown lives on /statusz).
+	m := s.def.monitor
 	fixed := s.cfg.FixedVector
 	reg.GaugeFunc("poetd_ts_size_ratio",
 		"Mean timestamp size relative to a fixed Fidge/Mattern vector (Section 4; 1.0 = no clustering benefit).",
@@ -144,47 +175,79 @@ type PaperStatus struct {
 	PrecedesClusterReceives int64       `json:"precedes_cr_routed"`
 }
 
+// TenantStatus is one namespace's block in the /statusz document: its
+// throughput accounting plus the paper's Section 4 gauges evaluated over
+// that tenant's store alone.
+type TenantStatus struct {
+	Events    int64       `json:"events"`
+	Queries   int64       `json:"queries"`
+	Held      int         `json:"collector_held"`
+	WALEvents uint64      `json:"wal_events,omitempty"`
+	Paper     PaperStatus `json:"paper"`
+}
+
 // ServerStatus is the JSON document behind /statusz.
 type ServerStatus struct {
 	UptimeSeconds float64                        `json:"uptime_seconds"`
 	Events        int                            `json:"events"`
 	Held          int                            `json:"collector_held"`
 	Paper         PaperStatus                    `json:"paper"`
+	Tenants       map[string]TenantStatus        `json:"tenants"`
 	Counters      metrics.CounterSnapshot        `json:"counters"`
 	Rates         metrics.ThroughputRates        `json:"rates_since_start"`
 	Latency       map[string]obs.DurationSummary `json:"latency,omitempty"`
 }
 
-// Status assembles the live status document. Latency summaries are present
-// only when the server is instrumented.
-func (s *Server) Status() ServerStatus {
-	a := s.monitor.Accounting()
-	direct, routed := s.monitor.QueryPathCounts()
+// paperStatus evaluates the paper's Section 4 gauges over one monitor.
+func paperStatus(m *Monitor, fixed int) PaperStatus {
+	a := m.Accounting()
+	direct, routed := m.QueryPathCounts()
 	hitRate := 0.0
 	if direct+routed > 0 {
 		hitRate = float64(direct) / float64(direct+routed)
 	}
+	return PaperStatus{
+		TimestampSizeRatio:      a.TimestampSizeRatio(fixed),
+		FixedVector:             fixed,
+		MaxClusterSize:          a.MaxClusterSize,
+		ClustersLive:            a.LiveClusters,
+		ClusterSizeMax:          a.MaxLiveCluster,
+		ClusterSizeCounts:       m.ClusterSizes(),
+		ClusterMerges:           a.Merges,
+		ClusterReceives:         a.ClusterReceives,
+		MergedClusterReceives:   a.MergedReceives,
+		GreatestClusterHitRate:  hitRate,
+		PrecedesClusterHits:     direct,
+		PrecedesClusterReceives: routed,
+	}
+}
+
+// Status assembles the live status document. The top-level Events/Held/Paper
+// block reports the default tenant (backward compatible); Tenants carries
+// the per-namespace breakdown. Latency summaries are present only when the
+// server is instrumented.
+func (s *Server) Status() ServerStatus {
 	snap := s.counters.Snapshot()
 	st := ServerStatus{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Events:        a.Events,
-		Held:          s.collector.Held(),
-		Paper: PaperStatus{
-			TimestampSizeRatio:      a.TimestampSizeRatio(s.cfg.FixedVector),
-			FixedVector:             s.cfg.FixedVector,
-			MaxClusterSize:          a.MaxClusterSize,
-			ClustersLive:            a.LiveClusters,
-			ClusterSizeMax:          a.MaxLiveCluster,
-			ClusterSizeCounts:       s.monitor.ClusterSizes(),
-			ClusterMerges:           a.Merges,
-			ClusterReceives:         a.ClusterReceives,
-			MergedClusterReceives:   a.MergedReceives,
-			GreatestClusterHitRate:  hitRate,
-			PrecedesClusterHits:     direct,
-			PrecedesClusterReceives: routed,
-		},
-		Counters: snap,
-		Rates:    snap.Rates(time.Since(s.start)),
+		Events:        s.def.monitor.Accounting().Events,
+		Held:          s.def.collector.Held(),
+		Paper:         paperStatus(s.def.monitor, s.cfg.FixedVector),
+		Tenants:       make(map[string]TenantStatus),
+		Counters:      snap,
+		Rates:         snap.Rates(time.Since(s.start)),
+	}
+	for _, t := range s.Tenants() {
+		ts := TenantStatus{
+			Events:  t.accepted.Load(),
+			Queries: t.queries.Load(),
+			Held:    t.collector.Held(),
+			Paper:   paperStatus(t.monitor, s.cfg.FixedVector),
+		}
+		if t.walEvents != nil {
+			ts.WALEvents = t.walEvents()
+		}
+		st.Tenants[t.name] = ts
 	}
 	if o := s.obs; o != nil {
 		st.Latency = map[string]obs.DurationSummary{

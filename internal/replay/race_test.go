@@ -171,3 +171,171 @@ func TestReplayWhileIngest(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayViewLifecycleRace is the regression test for the Store's view
+// lifecycle audit (see the Store doc comment): a caller-pinned view must
+// keep answering its frozen cutoff — correctly and race-free — while the
+// store's single-slot FIFO cache evicts it, a live writer seals and
+// compacts segments underneath, and Refresh swaps (closing) the mmap'd
+// chain the view was originally materialized from.
+func TestReplayViewLifecycleRace(t *testing.T) {
+	tr := workload.RandomSparse(6, 3, 1500, 33)
+	stamped, err := fm.StampAll(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmClock := make(map[model.EventID]vclock.Clock, len(stamped))
+	for _, st := range stamped {
+		fmClock[st.Event.ID] = st.Clock
+	}
+	factory := func() hct.Config {
+		return hct.Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()}
+	}
+
+	dir := t.TempDir()
+	// SnapshotEvery well below the trace length: the writer compacts several
+	// times, deleting segments the pinned views were materialized from.
+	l, err := wal.Open(dir, wal.Options{NumProcs: tr.NumProcs, Sync: wal.SyncNever, SnapshotEvery: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed enough history for the first pinned view before readers start,
+	// and flush so the chain reader can see it (SyncNever buffers writes).
+	const seed = 300
+	if err := l.Append(tr.Events[:seed]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxCachedViews: 1 — every new cutoff evicts the previous view, so the
+	// pinned views below survive on caller references alone.
+	st, err := replay.Open(dir, replay.Options{NumProcs: tr.NumProcs, NewConfig: factory, MaxCachedViews: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	pinCut := st.Events()
+	if pinCut == 0 {
+		t.Fatal("no seeded history visible to the chain")
+	}
+	pinned, err := st.ViewAt(pinCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: appends the rest of the trace in small runs; automatic
+	// compaction rotates and deletes segments underneath the store.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		r := rand.New(rand.NewSource(7))
+		for lo := seed; lo < len(tr.Events); {
+			hi := lo + 1 + r.Intn(30)
+			if hi > len(tr.Events) {
+				hi = len(tr.Events)
+			}
+			if err := l.Append(tr.Events[lo:hi]); err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			lo = hi
+		}
+	}()
+
+	verify := func(v *replay.View, r *rand.Rand) bool {
+		wm := v.Watermark()
+		for k := 0; k < 40; k++ {
+			p1, p2 := r.Intn(len(wm)), r.Intn(len(wm))
+			if wm[p1] == 0 || wm[p2] == 0 {
+				continue
+			}
+			e := model.EventID{Process: model.ProcessID(p1), Index: model.EventIndex(1 + r.Int31n(wm[p1]))}
+			f := model.EventID{Process: model.ProcessID(p2), Index: model.EventIndex(1 + r.Int31n(wm[p2]))}
+			got, err := v.Precedes(e, f)
+			if err != nil {
+				t.Errorf("cutoff=%d: Precedes(%v,%v): %v", v.Cutoff(), e, f, err)
+				return false
+			}
+			if want := fm.Precedes(e, fmClock[e], f, fmClock[f]); got != want {
+				t.Errorf("cutoff=%d: Precedes(%v,%v) = %v, Fidge/Mattern %v", v.Cutoff(), e, f, got, want)
+				return false
+			}
+		}
+		return true
+	}
+
+	// Reader A: hammers the first pinned view, which the cache evicted the
+	// moment any later cutoff materialized.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(8))
+		for !done.Load() {
+			if !verify(pinned, r) {
+				return
+			}
+		}
+	}()
+
+	// Reader B: refreshes and materializes ever-newer views (evicting each
+	// other through the single cache slot), pinning some and re-verifying
+	// older pins after further evictions and refreshes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(9))
+		var pins []*replay.View
+		for !done.Load() {
+			v, err := st.ViewAt(replay.CutoffLatest)
+			if err != nil {
+				t.Errorf("ViewAt(latest): %v", err)
+				return
+			}
+			if !verify(v, r) {
+				return
+			}
+			if len(pins) < 4 {
+				pins = append(pins, v)
+			}
+			for _, p := range pins {
+				if !verify(p, r) {
+					return
+				}
+			}
+			// A rewind below the shared engine builds a throwaway engine and,
+			// with one cache slot, is evicted immediately.
+			if back, err := st.ViewAt(pinCut / 2); err != nil {
+				t.Errorf("ViewAt(rewind): %v", err)
+				return
+			} else if !verify(back, r) {
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned view still answers its frozen cutoff after the writer is
+	// gone and every segment it was built from has long been compacted away.
+	if err := st.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pinned.Cutoff(); got != pinCut {
+		t.Fatalf("pinned view cutoff drifted to %d, want %d", got, pinCut)
+	}
+	r := rand.New(rand.NewSource(10))
+	if !verify(pinned, r) {
+		t.Fatal("pinned view verification failed after final refresh")
+	}
+}

@@ -167,6 +167,29 @@ func (f *frozenEngine) ConcurrentAt(e, g model.EventID, w hct.Watermark) (bool, 
 // Store materializes replay views over one WAL directory. All methods are
 // safe for concurrent use; materialization is serialized internally while
 // queries against existing views proceed lock-free.
+//
+// View lifecycle vs Refresh and cache eviction — the audited invariants:
+//
+//   - A View never reads the chain after materialization. Its frozenEngine
+//     holds only the heap-materialized timestamper and the watermark slice
+//     captured at the cutoff, so Refresh swapping (and closing) the mmap'd
+//     chain underneath — including after a compaction deleted the very
+//     segments the view was built from — cannot invalidate it.
+//   - Views built from the shared engine stay correct while later
+//     materializations extend that engine concurrently: the columnar store
+//     publishes cells monotonically above already-captured watermarks
+//     (internal/hct/store.go), the same argument that makes the live query
+//     plane lock-free. Rewind views get a throwaway engine nobody extends.
+//   - Eviction from the FIFO cache only drops the Store's reference; a
+//     caller-pinned *View keeps its engine alive through ordinary GC
+//     reachability and keeps answering at its frozen cutoff.
+//   - All chain and cache mutation (Refresh, ViewAt bookkeeping) happens
+//     under mu; the only cross-goroutine surface a View exposes is the
+//     watermark-clamped read path above.
+//
+// TestReplayViewLifecycleRace exercises exactly this shape under -race:
+// pinned views queried concurrently with a compacting writer, refreshes,
+// and a single-slot cache forcing eviction on every materialization.
 type Store struct {
 	dir  string
 	opts Options
