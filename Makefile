@@ -25,13 +25,19 @@ bench:
 # iteration is ~30µs, so 100x would measure only ~3ms and roll dice on cache
 # state, while ingest iterations are ~12ms each and the ingest=true query
 # series must finish while its finite concurrent stream is still flowing.
+# The tracing-overhead grid (BenchmarkObsOverhead: off / on / tail-only /
+# head-sampled / traced-all) runs at 20x — each iteration ingests a whole
+# corpus trace, and the 3% overhead budget needs more than one sample.
 bench-json:
 	go test ./internal/experiment/ ./internal/monitor/ -run '^$$' \
-		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest|BenchmarkObsOverhead' \
+		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 	{ go test ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkIngestColumnar|BenchmarkIngestParallel|BenchmarkIngestMultiTenant|BenchmarkQueryParallel/ingest=true' \
 		-benchtime=100x -benchmem; \
+	  go test ./internal/monitor/ -run '^$$' \
+		-bench 'BenchmarkObsOverhead' \
+		-benchtime=20x -benchmem; \
 	  go test ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkQueryParallel/ingest=false' \
 		-benchtime=20000x -benchmem; \

@@ -27,12 +27,18 @@
 // With -http the daemon exposes an admin plane on a second listener:
 // Prometheus metrics at /metrics (ingest/query/WAL latency histograms plus
 // the paper's live gauges — timestamp size ratio, cluster distribution,
-// merge counts), JSON status at /statusz, the slowest recent operations at
-// /tracez, liveness and readiness probes, and the standard Go profiling
-// surface at /debug/pprof/:
+// merge counts), JSON status at /statusz, the slowest recent operations and
+// sampled span traces at /tracez, liveness and readiness probes, and the
+// standard Go profiling surface at /debug/pprof/:
 //
 //	poetd -procs 300 -http 127.0.0.1:7778
 //	curl -s 127.0.0.1:7778/metrics | grep poetd_ts_size_ratio
+//
+// Batch tracing: up to -trace-sample batches per second carry a span trace
+// through the pipeline (decode, validate, WAL append/fsync, plan, per-lane
+// stamp), batches slower than -slow-op are always captured, and histogram
+// buckets on /metrics carry exemplar trace IDs that resolve at
+// /tracez?trace=<id> (DESIGN.md §14).
 //
 // Each connection speaks one of two protocols, auto-detected from its first
 // byte. Protocol v2 is the production path: length-prefixed binary frames
@@ -118,6 +124,7 @@ func main() {
 		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error")
 		slowOp    = flag.Duration("slow-op", 100*time.Millisecond, "log operations at least this slow at warn (0 = never)")
+		traceRate = flag.Float64("trace-sample", obs.DefaultTraceRate, "head-sample up to this many batch traces per second (0 = tail-only: trace just batches slower than -slow-op)")
 
 		maxTenants   = flag.Int("max-tenants", monitor.DefaultMaxTenants, "maximum tenant namespaces served (the default tenant included)")
 		tenantProcs  = flag.Int("max-processes", 0, "monitored processes per on-demand tenant (0 = same as -procs)")
@@ -167,6 +174,7 @@ func main() {
 	tel := obs.NewTelemetry(reg)
 	tel.SlowOp = *slowOp
 	tel.Logger = logger
+	tel.Sampler = obs.NewSampler(*traceRate)
 
 	// Pre-tenant WAL roots hold their segments directly (wal-*.log in the
 	// root); such a root keeps serving as the default tenant's directory.
@@ -198,6 +206,10 @@ func main() {
 			return res, nil
 		}
 		dir := tenantWALDir(name)
+		// One span scope pairs this tenant's collector with its WAL: the
+		// collector installs each sampled batch's trace there around the
+		// journal append, and the WAL records wal_append/wal_fsync spans on it.
+		scope := obs.NewSpanScope()
 		wlog, err := wal.Open(dir, wal.Options{
 			NumProcs:      nprocs,
 			Sync:          policy,
@@ -205,6 +217,7 @@ func main() {
 			AppendTimer:   tel.WALAppend,
 			FsyncTimer:    tel.WALFsync,
 			SnapshotTimer: tel.WALSnapshot,
+			Spans:         scope,
 		})
 		if err != nil {
 			m.Close()
@@ -247,6 +260,7 @@ func main() {
 		res.Journal = wlog
 		res.History = history
 		res.WALEvents = wlog.Appended
+		res.Spans = scope
 		res.Close = func() error {
 			history.Close()
 			m.Close()
@@ -317,6 +331,7 @@ func main() {
 			Ready:    ready.Load,
 			Status:   func() any { return srv.Status() },
 			Ops:      tel.Ops,
+			Traces:   tel.Traces,
 		}.Mux()
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {

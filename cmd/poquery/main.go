@@ -14,7 +14,7 @@
 //
 //	poquery -addr 127.0.0.1:7777 -trace pvm/ring-300 -load -sample 50
 //	poquery -addr 127.0.0.1:7777 -e 0:1 -f 1:5
-//	poquery -addr 127.0.0.1:7777 -watch 1s        # live interval throughput
+//	poquery -addr 127.0.0.1:7777 -watch 1s        # live throughput, per tenant
 //
 // With -load the trace is streamed to the daemon in event batches before
 // querying; when a trace is available the remote answers are additionally
@@ -50,6 +50,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -524,6 +525,7 @@ func runWatch(sess monitor.Session, interval time.Duration, count int) {
 		fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
 	}
 	prevShards := parseShardEvents(stats)
+	prevTenants := metrics.ParseTenantCounters(stats)
 	fmt.Printf("%-10s %12s %12s %12s %12s %10s  %s\n",
 		"interval", "events/s", "batches/s", "queries/s", "ingested", "errors", "shard events/s")
 	ticker := time.NewTicker(interval)
@@ -539,13 +541,42 @@ func runWatch(sess monitor.Session, interval time.Duration, count int) {
 			fatal(fmt.Errorf("STATS %q carries no counters to watch", stats))
 		}
 		curShards := parseShardEvents(stats)
+		curTenants := metrics.ParseTenantCounters(stats)
 		delta := cur.Sub(prev)
 		rates := delta.Rates(interval)
 		fmt.Printf("%-10s %12.0f %12.0f %12.0f %12d %10d  %s\n",
 			interval, rates.EventsPerSec, rates.BatchesPerSec, rates.QueriesPerSec,
 			cur.EventsIngested, cur.ProtocolErrors,
 			shardRates(prevShards, curShards, interval))
-		prev, prevShards = cur, curShards
+		printTenantRates(prevTenants, curTenants, interval)
+		prev, prevShards, prevTenants = cur, curShards, curTenants
+	}
+}
+
+// printTenantRates breaks the interval down by namespace when the daemon's
+// STATS body carries tenant-labelled counters (tenant_events{tenant="..."}).
+// A single-tenant daemon reporting only the default namespace adds no lines —
+// the global row already tells the whole story.
+func printTenantRates(prev, cur map[string]metrics.TenantCounters, interval time.Duration) {
+	if len(cur) == 0 {
+		return
+	}
+	if _, onlyDefault := cur[monitor.DefaultTenant]; onlyDefault && len(cur) == 1 {
+		return
+	}
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	secs := interval.Seconds()
+	for _, name := range names {
+		c, p := cur[name], prev[name]
+		fmt.Printf("  %-24s %12.0f %12s %12.0f %12d\n",
+			"tenant "+name,
+			float64(c.Events-p.Events)/secs, "",
+			float64(c.Queries-p.Queries)/secs,
+			c.Events)
 	}
 }
 

@@ -93,6 +93,23 @@ type WaitObserver interface {
 	Observe(d time.Duration)
 }
 
+// BatchTracer receives stage spans for one traced run: the planner records
+// plan-mutex wait and planning time, lanes record their stamping intervals
+// with cross-shard rendezvous waits as child spans. The interface decouples
+// the pipeline from the telemetry package; *obs.Trace implements it. A nil
+// BatchTracer (the common case — only sampled batches carry one) disables
+// all span work at the cost of one pointer comparison per stage.
+//
+// Begin opens a span (lane -1 = not lane-bound, parent -1 = child of the
+// trace root) and returns its index; End closes it; Span records an
+// already-measured interval. Implementations must be safe for concurrent
+// use: lanes run in parallel and record spans after Dispatch returns.
+type BatchTracer interface {
+	Begin(name string, lane, parent int) int
+	End(idx int)
+	Span(name string, lane, parent int, start time.Time, d time.Duration) int
+}
+
 // PipelineOptions tunes the sharding.
 type PipelineOptions struct {
 	// Shards is the number of ingest lanes. Zero or negative means
@@ -102,10 +119,12 @@ type PipelineOptions struct {
 
 // item is one planned unit of lane work: the event plus the cluster epoch
 // the planner pinned for it. A nil cluster marks a noted cluster receive
-// (the lane retains the full vector and publishes a note).
+// (the lane retains the full vector and publishes a note). bt is the traced
+// run's span sink, nil for the (overwhelmingly common) unsampled runs.
 type item struct {
 	ev model.Event
 	cl *cluster.Info
+	bt BatchTracer
 }
 
 // Pipeline is the sharded ingest engine. It embeds the same lock-free read
@@ -133,6 +152,14 @@ type Pipeline struct {
 	issued    []uint64 // items dispatched per shard
 	curBufs   [][]item // per-shard staging buffers for the current Dispatch
 	closed    bool
+
+	// Tracing state for the Dispatch in progress (guarded by planMu).
+	// curBT tags staged items; planSpan parents the inline single-shard
+	// stamp span; stampStart/stampDur accumulate inline stamping time.
+	curBT      BatchTracer
+	planSpan   int
+	stampStart time.Time
+	stampDur   time.Duration
 
 	lanes []*lane
 	rv    rendezvous
@@ -268,13 +295,32 @@ func (p *Pipeline) Close() {
 // as "at <id>: ...". Stamping is asynchronous — use Barrier to wait for
 // visibility. With one shard, Dispatch stamps inline and is synchronous.
 func (p *Pipeline) Dispatch(events []model.Event) error {
+	return p.DispatchTraced(events, nil)
+}
+
+// DispatchTraced is Dispatch with a span sink for a sampled run: bt receives
+// plan_wait (time blocked on the planner mutex), plan (validation + cluster
+// decisions), and — with one shard — the inline stamp span. Multi-shard
+// stamping records per-lane spans asynchronously as the lanes drain. A nil
+// bt makes this identical to Dispatch.
+func (p *Pipeline) DispatchTraced(events []model.Event, bt BatchTracer) error {
 	if len(events) == 0 {
 		return nil
+	}
+	var lockStart time.Time
+	if bt != nil {
+		lockStart = time.Now()
 	}
 	p.planMu.Lock()
 	defer p.planMu.Unlock()
 	if p.closed {
 		return ErrPipelineClosed
+	}
+	planSpan := -1
+	if bt != nil {
+		bt.Span("plan_wait", -1, -1, lockStart, time.Since(lockStart))
+		planSpan = bt.Begin("plan", -1, -1)
+		p.curBT, p.planSpan = bt, planSpan
 	}
 	var firstErr error
 	for i := range events {
@@ -284,6 +330,14 @@ func (p *Pipeline) Dispatch(events []model.Event) error {
 		}
 	}
 	p.flushLocked()
+	if bt != nil {
+		if p.stampDur > 0 {
+			bt.Span("stamp", 0, planSpan, p.stampStart, p.stampDur)
+			p.stampDur = 0
+		}
+		p.curBT = nil
+		bt.End(planSpan)
+	}
 	return firstErr
 }
 
@@ -359,9 +413,20 @@ func (p *Pipeline) planEvent(e model.Event) error {
 // stage runs the cluster plan for one finalized event and hands the item to
 // its lane (inline with one shard).
 func (p *Pipeline) stage(e model.Event) {
-	it := item{ev: e, cl: p.clusterPlan(e)}
+	it := item{ev: e, cl: p.clusterPlan(e), bt: p.curBT}
 	if p.nshards == 1 {
-		p.lanes[0].process(&it)
+		if p.curBT != nil {
+			// Inline stamping: accumulate into one stamp span (emitted by
+			// DispatchTraced) instead of one span per event.
+			t0 := time.Now()
+			p.lanes[0].process(&it)
+			if p.stampDur == 0 {
+				p.stampStart = t0
+			}
+			p.stampDur += time.Since(t0)
+		} else {
+			p.lanes[0].process(&it)
+		}
 		p.issued[0]++
 		return
 	}
@@ -601,6 +666,12 @@ type lane struct {
 	localSend map[model.EventID]vclock.Clock // same-lane in-flight sends
 	held      *heldSync
 
+	// curBT/curSpan name the traced run whose items are being processed,
+	// so rendezvous waits attach as children of the lane's stamp span.
+	// Lane-goroutine-private (single-shard: written under planMu).
+	curBT   BatchTracer
+	curSpan int
+
 	waits atomic.Int64 // blocking cross-shard waits
 }
 
@@ -620,8 +691,23 @@ func (ln *lane) run() {
 		chunk := ln.queue
 		ln.queue = ln.spare[:0]
 		ln.mu.Unlock()
-		for i := range chunk {
-			ln.process(&chunk[i])
+		// Contiguous items from the same traced run share one stamp span;
+		// a chunk can interleave items from many dispatches, traced or not.
+		for i := 0; i < len(chunk); {
+			bt := chunk[i].bt
+			if bt == nil {
+				ln.process(&chunk[i])
+				i++
+				continue
+			}
+			sp := bt.Begin("stamp", int(ln.id), -1)
+			ln.curBT, ln.curSpan = bt, sp
+			for i < len(chunk) && chunk[i].bt == bt {
+				ln.process(&chunk[i])
+				i++
+			}
+			ln.curBT, ln.curSpan = nil, -1
+			bt.End(sp)
 		}
 		ln.spare = chunk[:0]
 		ln.pl.doneMu.Lock()
@@ -707,6 +793,10 @@ func (ln *lane) noteWait(d time.Duration) {
 	if d > 0 {
 		ln.waits.Add(1)
 		ln.pl.observeWait(d)
+		if ln.curBT != nil {
+			// The wait just ended; back-date its start from the duration.
+			ln.curBT.Span("xwait", int(ln.id), ln.curSpan, time.Now().Add(-d), d)
+		}
 	}
 }
 

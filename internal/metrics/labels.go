@@ -1,0 +1,216 @@
+package metrics
+
+import "strconv"
+
+// LabeledSample is one labeled sample from a STATS response body: a field of
+// the form key{name="value",...}=N. The server emits these for per-tenant
+// series (tenant_events, tenant_queries); the plain key=value fields remain
+// the province of ParseSnapshot, which skips labeled fields entirely — the
+// two parsers split the dialect between them.
+type LabeledSample struct {
+	Key    string
+	Labels map[string]string
+	Value  int64
+}
+
+// Label returns the value of the named label, or "" when absent.
+func (s LabeledSample) Label(name string) string { return s.Labels[name] }
+
+// ParseLabeledSamples recovers every well-formed labeled sample from a STATS
+// response body. Label values are double-quoted and may escape `"` and `\`
+// with a backslash, so a value may contain spaces and quotes; the scanner
+// therefore walks bytes rather than splitting on whitespace. Malformed
+// fields are skipped, not fatal: a tool watching a newer daemon should
+// surface the samples it understands rather than nothing.
+func ParseLabeledSamples(body string) []LabeledSample {
+	var out []LabeledSample
+	i := 0
+	for i < len(body) {
+		// Skip inter-field whitespace.
+		for i < len(body) && isSpace(body[i]) {
+			i++
+		}
+		if i >= len(body) {
+			break
+		}
+		s, next, ok := parseLabeledField(body, i)
+		if ok {
+			out = append(out, s)
+			i = next
+			continue
+		}
+		// Not a labeled field (or malformed): skip the token. Tokens with a
+		// label block may contain quoted whitespace, so honor quoting while
+		// scanning for the end.
+		i = skipToken(body, i)
+	}
+	return out
+}
+
+// parseLabeledField parses one key{...}=N field starting at i. It returns
+// ok == false (and an unspecified next) when the text at i is not a
+// well-formed labeled field; the caller then skips the token.
+func parseLabeledField(body string, i int) (s LabeledSample, next int, ok bool) {
+	start := i
+	for i < len(body) && isKeyByte(body[i]) {
+		i++
+	}
+	if i == start || i >= len(body) || body[i] != '{' {
+		return s, i, false
+	}
+	s.Key = body[start:i]
+	i++ // consume '{'
+	s.Labels = make(map[string]string)
+	for first := true; ; first = false {
+		// An empty label set is fine; a trailing comma (",}") is not.
+		if first && i < len(body) && body[i] == '}' {
+			i++
+			break
+		}
+		nameStart := i
+		for i < len(body) && isKeyByte(body[i]) {
+			i++
+		}
+		if i == nameStart || i >= len(body) || body[i] != '=' {
+			return s, i, false
+		}
+		name := body[nameStart:i]
+		i++ // consume '='
+		val, rest, vok := parseQuoted(body, i)
+		if !vok {
+			return s, i, false
+		}
+		s.Labels[name] = val
+		i = rest
+		if i < len(body) && body[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(body) && body[i] == '}' {
+			i++
+			break
+		}
+		return s, i, false
+	}
+	if i >= len(body) || body[i] != '=' {
+		return s, i, false
+	}
+	i++
+	numStart := i
+	if i < len(body) && (body[i] == '-' || body[i] == '+') {
+		i++
+	}
+	for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+		i++
+	}
+	v, err := strconv.ParseInt(body[numStart:i], 10, 64)
+	if err != nil {
+		return s, i, false
+	}
+	if i < len(body) && !isSpace(body[i]) {
+		return s, i, false // trailing junk glued to the number
+	}
+	s.Value = v
+	return s, i, true
+}
+
+// parseQuoted parses a double-quoted string starting at i, decoding \" and
+// \\ escapes (any other backslash escape keeps the escaped byte verbatim).
+func parseQuoted(body string, i int) (val string, next int, ok bool) {
+	if i >= len(body) || body[i] != '"' {
+		return "", i, false
+	}
+	i++
+	var buf []byte
+	for i < len(body) {
+		c := body[i]
+		switch c {
+		case '"':
+			return string(buf), i + 1, true
+		case '\\':
+			if i+1 >= len(body) {
+				return "", i, false
+			}
+			buf = append(buf, body[i+1])
+			i += 2
+		default:
+			buf = append(buf, c)
+			i++
+		}
+	}
+	return "", i, false // unterminated
+}
+
+// skipToken advances past one whitespace-delimited token, treating quoted
+// spans (which may contain spaces) as part of the token.
+func skipToken(body string, i int) int {
+	inQuote := false
+	for i < len(body) {
+		c := body[i]
+		if inQuote {
+			if c == '\\' && i+1 < len(body) {
+				i += 2
+				continue
+			}
+			if c == '"' {
+				inQuote = false
+			}
+			i++
+			continue
+		}
+		if c == '"' {
+			inQuote = true
+			i++
+			continue
+		}
+		if isSpace(c) {
+			return i
+		}
+		i++
+	}
+	return i
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isKeyByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		return true
+	}
+	return false
+}
+
+// TenantCounters is the per-namespace subset of a STATS body: the
+// tenant-labelled ingest and query totals. It feeds poquery -watch's
+// per-tenant rate lines the same way CounterSnapshot feeds the global ones.
+type TenantCounters struct {
+	Events  int64
+	Queries int64
+}
+
+// ParseTenantCounters extracts the per-tenant counters from a STATS body,
+// keyed by tenant name. The map is empty (never nil) for bodies from daemons
+// that predate tenant-labelled STATS.
+func ParseTenantCounters(body string) map[string]TenantCounters {
+	out := make(map[string]TenantCounters)
+	for _, s := range ParseLabeledSamples(body) {
+		tenant, ok := s.Labels["tenant"]
+		if !ok {
+			continue
+		}
+		tc := out[tenant]
+		switch s.Key {
+		case "tenant_events":
+			tc.Events = s.Value
+		case "tenant_queries":
+			tc.Queries = s.Value
+		default:
+			continue
+		}
+		out[tenant] = tc
+	}
+	return out
+}

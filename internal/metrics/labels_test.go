@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseLabeledSamplesTenantSeries(t *testing.T) {
+	body := `events=900 tenant_events{tenant="blue"}=500 tenant_queries{tenant="blue"}=12 ` +
+		`tenant_events{tenant="default"}=400 tenant_queries{tenant="default"}=3 wal_records=30`
+	got := ParseLabeledSamples(body)
+	want := []LabeledSample{
+		{Key: "tenant_events", Labels: map[string]string{"tenant": "blue"}, Value: 500},
+		{Key: "tenant_queries", Labels: map[string]string{"tenant": "blue"}, Value: 12},
+		{Key: "tenant_events", Labels: map[string]string{"tenant": "default"}, Value: 400},
+		{Key: "tenant_queries", Labels: map[string]string{"tenant": "default"}, Value: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseLabeledSamples =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+func TestParseLabeledSamplesEscapedValues(t *testing.T) {
+	// Values may escape quotes and backslashes, and may contain spaces —
+	// the scanner must not split fields naively on whitespace.
+	body := `a{name="with \"quotes\""}=1 b{path="C:\\tmp"}=2 c{msg="two words"}=3`
+	got := ParseLabeledSamples(body)
+	want := []LabeledSample{
+		{Key: "a", Labels: map[string]string{"name": `with "quotes"`}, Value: 1},
+		{Key: "b", Labels: map[string]string{"path": `C:\tmp`}, Value: 2},
+		{Key: "c", Labels: map[string]string{"msg": "two words"}, Value: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseLabeledSamples =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+func TestParseLabeledSamplesMultipleLabels(t *testing.T) {
+	body := `rate{tenant="blue",shard="3",kind="ingest"}=42`
+	got := ParseLabeledSamples(body)
+	if len(got) != 1 {
+		t.Fatalf("got %d samples, want 1", len(got))
+	}
+	s := got[0]
+	if s.Key != "rate" || s.Value != 42 {
+		t.Fatalf("sample = %+v", s)
+	}
+	for name, want := range map[string]string{"tenant": "blue", "shard": "3", "kind": "ingest"} {
+		if s.Label(name) != want {
+			t.Fatalf("label %q = %q, want %q (labels %v)", name, s.Label(name), want, s.Labels)
+		}
+	}
+	if s.Label("absent") != "" {
+		t.Fatalf("absent label = %q, want empty", s.Label("absent"))
+	}
+}
+
+func TestParseLabeledSamplesSkipsMalformed(t *testing.T) {
+	for _, body := range []string{
+		`x{tenant=blue}=1`,      // unquoted value
+		`x{tenant="blue"}=`,     // missing number
+		`x{tenant="blue"}=1.5`,  // not an integer
+		`x{tenant="blue}=1`,     // unterminated quote (runs to end of body)
+		`x{tenant="blue",}=1`,   // trailing comma
+		`x{}=junk`,              // empty labels, bad value
+		`{tenant="blue"}=1`,     // missing key
+		`x{tenant="blue"}=1xyz`, // junk glued to the number
+	} {
+		if got := ParseLabeledSamples(body); len(got) != 0 {
+			t.Errorf("ParseLabeledSamples(%q) = %+v, want none", body, got)
+		}
+	}
+	// A malformed field must not eat its well-formed neighbours.
+	got := ParseLabeledSamples(`x{tenant=bad}=1 y{tenant="ok"}=2 z{broken="yes}=3`)
+	if len(got) != 1 || got[0].Key != "y" || got[0].Value != 2 {
+		t.Fatalf("mixed body = %+v, want just y=2", got)
+	}
+}
+
+func TestParseLabeledSamplesEmptyLabelSet(t *testing.T) {
+	got := ParseLabeledSamples(`x{}=7`)
+	if len(got) != 1 || got[0].Key != "x" || got[0].Value != 7 || len(got[0].Labels) != 0 {
+		t.Fatalf("ParseLabeledSamples(x{}=7) = %+v", got)
+	}
+}
+
+func TestParseTenantCounters(t *testing.T) {
+	body := `ingested=900 tenant_events{tenant="blue"}=500 tenant_queries{tenant="blue"}=12 ` +
+		`tenant_events{tenant="green"}=400 other{tenant="blue"}=9 unlabeled{shard="0"}=1`
+	got := ParseTenantCounters(body)
+	want := map[string]TenantCounters{
+		"blue":  {Events: 500, Queries: 12},
+		"green": {Events: 400},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseTenantCounters = %+v, want %+v", got, want)
+	}
+	if m := ParseTenantCounters("ingested=900 batches=30"); m == nil || len(m) != 0 {
+		t.Fatalf("pre-tenant body = %v, want empty non-nil map", m)
+	}
+}
+
+func TestParseSnapshotIgnoresLabeledFields(t *testing.T) {
+	// The plain-counter parser must pass over labeled fields without
+	// misreading them as counters.
+	body := `ingested=900 tenant_events{tenant="blue"}=500 batches=30`
+	got, ok := ParseSnapshot(body)
+	if !ok || got.EventsIngested != 900 || got.BatchesIngested != 30 {
+		t.Fatalf("ParseSnapshot = %+v ok=%v", got, ok)
+	}
+}

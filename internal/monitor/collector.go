@@ -90,6 +90,13 @@ type Collector struct {
 	deliverHist *obs.Histogram
 	runHist     *obs.Histogram
 
+	// spans, when set, is shared with this collector's write-ahead journal
+	// (wal.Options.Spans): flush installs the current run's trace there so
+	// the WAL can record append/fsync spans without an API change to
+	// RunJournal. The collector's mutex serializes Set/Clear around the
+	// append.
+	spans *obs.SpanScope
+
 	// sentPartner maps each delivered send to the receive it targets, until
 	// that receive is delivered. It mirrors the partial-order store's
 	// in-flight message table and lets the collector reject a receive whose
@@ -149,11 +156,20 @@ func (c *Collector) Submit(e model.Event) error {
 // number of records accepted into the collector (the applied prefix), which
 // callers must account even when err is non-nil.
 func (c *Collector) SubmitBatch(events []model.Event) (accepted int, err error) {
+	return c.SubmitBatchTraced(events, nil)
+}
+
+// SubmitBatchTraced is SubmitBatch carrying the batch's span trace (nil for
+// unsampled batches, which is the hot path and costs only nil checks). The
+// collector records the validate span (insert + enablement drain); flush
+// scopes the WAL append and threads the trace into the delivery pipeline.
+func (c *Collector) SubmitBatchTraced(events []model.Event, tr *obs.Trace) (accepted int, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return 0, ErrClosed
 	}
+	vs := tr.Begin("validate", -1, -1)
 	var firstErr error
 	touched := c.touched[:0]
 	for i, e := range events {
@@ -179,7 +195,8 @@ func (c *Collector) SubmitBatch(events []model.Event) (accepted int, err error) 
 		firstErr = err
 	}
 	c.touched = touched[:0] // retain any growth for the next batch
-	if err := c.flush(); err != nil && firstErr == nil {
+	tr.End(vs)
+	if err := c.flush(tr); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return accepted, firstErr
@@ -350,12 +367,22 @@ func (c *Collector) deliver(e model.Event) {
 // journal failure closes the collector: the in-memory frontier is already
 // ahead of the durable log, so no later submission could be recovered
 // consistently — fail-stop is the only honest behaviour.
-func (c *Collector) flush() error {
+func (c *Collector) flush(tr *obs.Trace) error {
 	if len(c.run) == 0 {
 		return nil
 	}
 	if c.journal != nil {
-		if err := c.journal.AppendRun(c.run); err != nil {
+		if tr != nil {
+			// Hand the trace to the journal for append/fsync spans; the
+			// scope is cleared before delivery so the WAL's own background
+			// fsyncs never attach to a finished trace.
+			c.spans.Set(tr)
+		}
+		err := c.journal.AppendRun(c.run)
+		if tr != nil {
+			c.spans.Set(nil)
+		}
+		if err != nil {
 			c.closed = true
 			c.run = c.run[:0]
 			return fmt.Errorf("monitor: journal append failed, collector closed: %w", err)
@@ -368,9 +395,9 @@ func (c *Collector) flush() error {
 	}
 	var err error
 	if c.pipelined {
-		err = c.m.DeliverBatchAsync(c.run)
+		err = c.m.DeliverBatchAsyncTraced(c.run, tr)
 	} else {
-		err = c.m.DeliverBatch(c.run)
+		err = c.m.DeliverBatchTraced(c.run, tr)
 	}
 	if c.deliverHist != nil {
 		c.deliverHist.ObserveSince(start)

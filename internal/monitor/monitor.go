@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/hct"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Monitor is the monitoring entity. Deliver ingests events in a valid
@@ -97,15 +98,32 @@ func (m *Monitor) Deliver(e model.Event) error {
 // shards (inline on this goroutine for a single-shard monitor). On error
 // the events before the failing one remain delivered.
 func (m *Monitor) DeliverBatch(events []model.Event) error {
+	return m.DeliverBatchTraced(events, nil)
+}
+
+// DeliverBatchTraced is DeliverBatch with the run's span trace (nil when the
+// run is not sampled); the pipeline records plan/stamp/rendezvous spans on
+// it.
+func (m *Monitor) DeliverBatchTraced(events []model.Event, tr *obs.Trace) error {
 	if len(events) == 0 {
 		return nil
 	}
-	err := m.pipe.Dispatch(events)
+	err := m.pipe.DispatchTraced(events, batchTracer(tr))
 	m.pipe.Barrier()
 	if err != nil {
 		return fmt.Errorf("monitor: %w", err)
 	}
 	return nil
+}
+
+// batchTracer adapts a possibly-nil *obs.Trace to the pipeline's span sink.
+// The explicit nil branch matters: a nil *Trace stored in a non-nil
+// interface would defeat the pipeline's bt == nil fast path.
+func batchTracer(tr *obs.Trace) hct.BatchTracer {
+	if tr == nil {
+		return nil
+	}
+	return tr
 }
 
 // DeliverBatchAsync ingests a run without waiting for the stamping lanes to
@@ -115,10 +133,16 @@ func (m *Monitor) DeliverBatch(events []model.Event) error {
 // dispatched so far. This is the pipelined form — the caller can overlap
 // assembling (and journaling) the next run with stamping the current one.
 func (m *Monitor) DeliverBatchAsync(events []model.Event) error {
+	return m.DeliverBatchAsyncTraced(events, nil)
+}
+
+// DeliverBatchAsyncTraced is DeliverBatchAsync with the run's span trace
+// (nil when the run is not sampled).
+func (m *Monitor) DeliverBatchAsyncTraced(events []model.Event, tr *obs.Trace) error {
 	if len(events) == 0 {
 		return nil
 	}
-	if err := m.pipe.Dispatch(events); err != nil {
+	if err := m.pipe.DispatchTraced(events, batchTracer(tr)); err != nil {
 		return fmt.Errorf("monitor: %w", err)
 	}
 	return nil

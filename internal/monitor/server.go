@@ -97,6 +97,9 @@ type ServerConfig struct {
 	// appended to STATS responses. internal/wal.Log is the production
 	// implementation.
 	Journal RunJournal
+	// Spans, when non-nil, is the span scope shared with Journal (see
+	// TenantResources.Spans); only meaningful together with Journal and Obs.
+	Spans *obs.SpanScope
 	// History, when non-nil, serves QUERY@ frames: precedence queries
 	// answered against recorded history as of an event-count cutoff, from
 	// the replay plane rather than the live store. internal/replay.Store is
@@ -150,11 +153,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 }
 
 // submitReq is one event batch queued for ingestion, with the tenant it
-// routes to and the channel the acknowledging writer waits on.
+// routes to and the channel the acknowledging writer waits on. tr is the
+// batch's span trace (nil when unsampled); qspan is its open queue span,
+// closed when the worker picks the batch up.
 type submitReq struct {
 	tenant *Tenant
 	events []model.Event
 	reply  chan submitResult
+	tr     *obs.Trace
+	qspan  int
 }
 
 // submitResult is the outcome of one queued batch: how many records the
@@ -175,6 +182,7 @@ func NewServer(m *Monitor, cfg ServerConfig) *Server {
 		Monitor: m,
 		Journal: s.cfg.Journal,
 		History: s.cfg.History,
+		Spans:   s.cfg.Spans,
 	}, false)
 	s.install(def)
 	return s
@@ -241,16 +249,20 @@ func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
 func (s *Server) ingestLoop() {
 	defer s.ingestWG.Done()
 	for req := range s.submitQ {
-		n, err := s.submitInstrumented(req.tenant, req.events)
+		req.tr.End(req.qspan)
+		n, err := s.submitInstrumented(req.tenant, req.events, req.tr)
 		req.reply <- submitResult{accepted: n, err: err}
 	}
 }
 
 // submitInstrumented is SubmitBatch on a tenant's collector wrapped in the
 // quota gate and the ingest telemetry: the end-to-end batch latency
-// histogram and one op-trace record per batch. An over-quota batch is
-// rejected whole before touching the collector.
-func (s *Server) submitInstrumented(t *Tenant, events []model.Event) (int, error) {
+// histogram (with the trace ID as a bucket exemplar when sampled) and one
+// tenant-attributed op-trace record per batch. An over-quota batch is
+// rejected whole before touching the collector. tr, when non-nil, threads
+// the batch's span trace through the collector into the pipeline and is
+// finished here.
+func (s *Server) submitInstrumented(t *Tenant, events []model.Event, tr *obs.Trace) (int, error) {
 	if err := t.checkQuota(len(events)); err != nil {
 		return 0, err
 	}
@@ -261,11 +273,11 @@ func (s *Server) submitInstrumented(t *Tenant, events []model.Event) (int, error
 		return n, err
 	}
 	start := time.Now()
-	n, err := t.collector.SubmitBatch(events)
+	n, err := t.collector.SubmitBatchTraced(events, tr)
 	t.accepted.Add(int64(n))
 	d := time.Since(start)
-	o.IngestBatch.Observe(d)
-	o.RecordOp(obs.OpIngest, len(events), start, d, err)
+	o.IngestBatch.ObserveExemplar(d, tr.ID())
+	o.RecordOp(obs.OpIngest, t.name, len(events), start, d, err, tr)
 	return n, err
 }
 
@@ -415,15 +427,21 @@ func (s *Server) handle(cur *Tenant, line string) (resp string, quit bool, next 
 			parseStart = time.Now()
 		}
 		e, err := parseEventRecord(fields[1:])
+		var tr *obs.Trace
 		if s.obs != nil {
-			s.obs.DecodeFrame.ObserveSince(parseStart)
+			parseDur := time.Since(parseStart)
+			s.obs.DecodeFrame.Observe(parseDur)
+			if err == nil {
+				tr = s.obs.StartTrace(obs.OpIngest, cur.name, 1, parseStart)
+				tr.Span("decode", -1, -1, parseStart, parseDur)
+			}
 		}
 		if err != nil {
 			s.counters.ProtocolErrors.Add(1)
 			return "ERR " + err.Error(), false, nil
 		}
 		batch := [1]model.Event{e}
-		n, err := s.submitInstrumented(cur, batch[:])
+		n, err := s.submitInstrumented(cur, batch[:], tr)
 		// The applied prefix counts even when a later stage (drain, journal)
 		// failed: the record is in the collector and will be delivered.
 		s.counters.EventsIngested.Add(int64(n))
@@ -459,7 +477,7 @@ func (s *Server) handle(cur *Tenant, line string) (resp string, quit bool, next 
 		if o := s.obs; o != nil {
 			d := time.Since(queryStart)
 			o.QueryBatch.Observe(d)
-			o.RecordOp(obs.OpQuery, 1, queryStart, d, err)
+			o.RecordOp(obs.OpQuery, cur.name, 1, queryStart, d, err, nil)
 		}
 		s.counters.QueryFrames.Add(1)
 		if err != nil {
@@ -512,6 +530,13 @@ func (s *Server) statsBody(t *Tenant) string {
 	body += fmt.Sprintf(" shards=%d xwaits=%d", pipe.IngestShards(), pipe.CrossShardWaits())
 	for i, n := range pipe.ShardEventsInto(nil) {
 		body += fmt.Sprintf(" shard%d=%d", i, n)
+	}
+	// Per-tenant throughput in the labeled-field dialect, mirroring the
+	// tenant="..." series on /metrics. metrics.ParseSamples reads them;
+	// the label-less ParseSnapshot (and every pre-label reader) skips them.
+	for _, tt := range s.Tenants() {
+		body += fmt.Sprintf(" tenant_events{tenant=%q}=%d tenant_queries{tenant=%q}=%d",
+			tt.name, tt.accepted.Load(), tt.name, tt.queries.Load())
 	}
 	if t.journal != nil {
 		body += " " + t.journal.Stats()
@@ -570,8 +595,18 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				decodeStart = time.Now()
 			}
 			events, err := decodeEventsPayload(payload, s.cfg.MaxBatch)
+			var tr *obs.Trace
+			qspan := -1
 			if s.obs != nil {
-				s.obs.DecodeFrame.ObserveSince(decodeStart)
+				decodeDur := time.Since(decodeStart)
+				s.obs.DecodeFrame.Observe(decodeDur)
+				if err == nil {
+					// The trace roots at decode start, so its total covers
+					// decode → queue → submit (ack).
+					tr = s.obs.StartTrace(obs.OpIngest, cur.name, len(events), decodeStart)
+					tr.Span("decode", -1, -1, decodeStart, decodeDur)
+					qspan = tr.Begin("queue", -1, -1)
+				}
 			}
 			if err != nil {
 				s.counters.ProtocolErrors.Add(1)
@@ -579,7 +614,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				continue
 			}
 			reply := make(chan submitResult, 1)
-			s.submitQ <- submitReq{tenant: cur, events: events, reply: reply} // blocks when full: backpressure
+			s.submitQ <- submitReq{tenant: cur, events: events, reply: reply, tr: tr, qspan: qspan} // blocks when full: backpressure
 			out <- outItem{wait: reply, n: len(events)}
 		case frameQuery:
 			var decodeStart time.Time
@@ -606,7 +641,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			if o := s.obs; o != nil {
 				d := time.Since(queryStart)
 				o.QueryBatch.Observe(d)
-				o.RecordOp(obs.OpQuery, len(qs), queryStart, d, nil)
+				o.RecordOp(obs.OpQuery, cur.name, len(qs), queryStart, d, nil, nil)
 			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))
@@ -642,7 +677,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 				if o := s.obs; o != nil {
 					d := time.Since(queryStart)
 					o.ReplayQuery.Observe(d)
-					o.RecordOp(obs.OpReplay, len(qs), queryStart, d, err)
+					o.RecordOp(obs.OpReplay, cur.name, len(qs), queryStart, d, err, nil)
 				}
 				out <- outItem{typ: frameErr, payload: []byte(err.Error())}
 				continue
@@ -651,7 +686,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader) {
 			if o := s.obs; o != nil {
 				d := time.Since(queryStart)
 				o.ReplayQuery.Observe(d)
-				o.RecordOp(obs.OpReplay, len(qs), queryStart, d, nil)
+				o.RecordOp(obs.OpReplay, cur.name, len(qs), queryStart, d, nil, nil)
 			}
 			s.counters.QueryFrames.Add(1)
 			s.counters.QueriesAnswered.Add(int64(len(res)))

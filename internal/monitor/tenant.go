@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file implements first-class tenants (namespaces): many independent
@@ -72,6 +74,11 @@ type TenantResources struct {
 	// WALEvents, when non-nil, reports the events appended to the tenant's
 	// journal so far; it backs the tenant-labelled WAL series on /metrics.
 	WALEvents func() uint64
+	// Spans, when non-nil, is the span scope shared with the tenant's
+	// write-ahead journal (wal.Options.Spans): the collector installs each
+	// sampled batch's trace there around the journal append, so the WAL
+	// records wal_append/wal_fsync spans on it.
+	Spans *obs.SpanScope
 	// Close releases the factory-created resources (stamping lanes, WAL
 	// file handles, replay mappings). The server calls it for every
 	// factory-created tenant during Server.Close.
@@ -142,6 +149,7 @@ func (t *Tenant) Held() int { return t.collector.Held() }
 func (s *Server) newTenant(name string, res TenantResources, serverOwned bool) *Tenant {
 	collector := NewCollector(res.Monitor)
 	collector.journal = res.Journal
+	collector.spans = res.Spans
 	// Pipelined mode: flush dispatches each run to the monitor's ingest
 	// shards without waiting for the stamps to publish. Query surfaces
 	// issue IngestBarrier first, preserving the v1/v2 guarantee that an

@@ -66,7 +66,7 @@ func BenchmarkIngestMultiTenant(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if _, err := srv.submitInstrumented(tn, tr.Events[lo:hi]); err != nil {
+					if _, err := srv.submitInstrumented(tn, tr.Events[lo:hi], nil); err != nil {
 						b.Fatal(err)
 					}
 				}

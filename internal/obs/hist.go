@@ -39,6 +39,14 @@ type Histogram struct {
 	buckets    [histBuckets + 1]atomic.Uint64
 	sum        atomic.Int64
 	max        atomic.Int64
+
+	// Exemplars: per bucket, the trace ID and value of the slowest traced
+	// observation that landed there (see ObserveExemplar). The val/id pair
+	// is not updated atomically as a unit — a racing exemplar may briefly
+	// pair one trace's value with another's ID, which is acceptable for a
+	// debugging pointer and keeps the path lock-free.
+	exVal [histBuckets + 1]atomic.Int64
+	exID  [histBuckets + 1]atomic.Uint64
 }
 
 // bucketOf returns the bucket index for observation v: the smallest i with
@@ -79,6 +87,32 @@ func (h *Histogram) ObserveValue(v int64) {
 	h.observe(v)
 }
 
+// ObserveExemplar records one latency observation and, when id is non-zero,
+// remembers it as the bucket's exemplar if it is the slowest traced
+// observation seen in that bucket. Untraced call sites use Observe and pay
+// nothing for the exemplar machinery.
+func (h *Histogram) ObserveExemplar(d time.Duration, id TraceID) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	h.observe(v)
+	if id == 0 {
+		return
+	}
+	b := bucketOf(v)
+	for {
+		cur := h.exVal[b].Load()
+		if v < cur {
+			return
+		}
+		if h.exVal[b].CompareAndSwap(cur, v) {
+			h.exID[b].Store(uint64(id))
+			return
+		}
+	}
+}
+
 func (h *Histogram) observe(v int64) {
 	h.buckets[bucketOf(v)].Add(1)
 	h.sum.Add(v)
@@ -92,11 +126,15 @@ func (h *Histogram) observe(v int64) {
 
 // HistSnapshot is a point-in-time copy of a histogram. Buckets are
 // non-cumulative per-bucket counts; index histBuckets is the +Inf bucket.
+// ExemplarID[i] is the trace ID of the slowest traced observation in bucket
+// i (0 = none) and ExemplarVal[i] its raw value.
 type HistSnapshot struct {
-	Buckets [histBuckets + 1]uint64
-	Count   uint64
-	Sum     int64
-	Max     int64
+	Buckets     [histBuckets + 1]uint64
+	Count       uint64
+	Sum         int64
+	Max         int64
+	ExemplarVal [histBuckets + 1]int64
+	ExemplarID  [histBuckets + 1]TraceID
 }
 
 // Snapshot copies the histogram's state. Each field is read atomically; the
@@ -110,6 +148,10 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		c := h.buckets[i].Load()
 		s.Buckets[i] = c
 		s.Count += c
+		if id := h.exID[i].Load(); id != 0 {
+			s.ExemplarID[i] = TraceID(id)
+			s.ExemplarVal[i] = h.exVal[i].Load()
+		}
 	}
 	s.Sum = h.sum.Load()
 	s.Max = h.max.Load()

@@ -17,8 +17,11 @@ type Admin struct {
 	Ready func() bool
 	// Status produces the JSON document served at /statusz.
 	Status func() any
-	// Ops backs /tracez.
+	// Ops backs /tracez (flat recent/slowest op lists).
 	Ops *TraceRing
+	// Traces backs the span-tree side of /tracez (sampled batch traces,
+	// per tenant, with ?trace=<id> lookup for exemplar resolution).
+	Traces *TraceStore
 }
 
 // Mux returns the admin handler:
@@ -27,7 +30,11 @@ type Admin struct {
 //	/healthz        liveness (always 200 while the process serves)
 //	/readyz         readiness per Ready
 //	/statusz        JSON from Status
-//	/tracez?n=50    JSON {total, recent, slowest} from Ops
+//	/tracez         JSON {total, recent, slowest, trace_total, tenants, traces}:
+//	                flat op lists from Ops plus sampled span trees from Traces.
+//	                ?n=50 bounds list lengths, ?tenant=blue filters both sides
+//	                to one namespace, ?trace=123 resolves one trace ID (the
+//	                target of a /metrics exemplar) to its span tree.
 //	/debug/pprof/*  the standard Go profiling surface
 func (a Admin) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -54,21 +61,51 @@ func (a Admin) Mux() *http.ServeMux {
 		writeJSON(w, doc)
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
 		n := 50
-		if s := r.URL.Query().Get("n"); s != "" {
+		if s := q.Get("n"); s != "" {
 			if v, err := strconv.Atoi(s); err == nil && v > 0 {
 				n = v
 			}
 		}
-		recent := a.Ops.Snapshot()
+		tenant := q.Get("tenant")
+
+		if s := q.Get("trace"); s != "" {
+			// Exemplar resolution: one trace by ID.
+			id, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			tr := a.Traces.Find(TraceID(id))
+			if tr == nil {
+				http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, tr.Snapshot())
+			return
+		}
+
+		recent := filterOps(a.Ops.Snapshot(), tenant)
 		if len(recent) > n {
 			recent = recent[len(recent)-n:]
 		}
+		slowest := filterOps(a.Ops.Slowest(-1), tenant)
+		if len(slowest) > n {
+			slowest = slowest[:n]
+		}
+		var traces []TraceSnapshot
+		for _, tr := range a.Traces.Snapshot(tenant, n) {
+			traces = append(traces, tr.Snapshot())
+		}
 		writeJSON(w, struct {
-			Total   uint64 `json:"total"`
-			Recent  []Op   `json:"recent"`
-			Slowest []Op   `json:"slowest"`
-		}{a.Ops.Total(), recent, a.Ops.Slowest(n)})
+			Total      uint64          `json:"total"`
+			Recent     []Op            `json:"recent"`
+			Slowest    []Op            `json:"slowest"`
+			TraceTotal uint64          `json:"trace_total"`
+			Tenants    []string        `json:"tenants,omitempty"`
+			Traces     []TraceSnapshot `json:"traces,omitempty"`
+		}{a.Ops.Total(), recent, slowest, a.Traces.Total(tenant), a.Traces.Tenants(), traces})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,6 +113,20 @@ func (a Admin) Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// filterOps narrows an op list to one tenant; tenant "" keeps everything.
+func filterOps(ops []Op, tenant string) []Op {
+	if tenant == "" {
+		return ops
+	}
+	out := ops[:0]
+	for _, op := range ops {
+		if op.Tenant == tenant {
+			out = append(out, op)
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

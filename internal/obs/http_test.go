@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -91,5 +92,57 @@ func TestAdminMetricsAndPprof(t *testing.T) {
 	}
 	if code, _ := adminGet(t, a, "/debug/pprof/cmdline"); code != 200 {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestAdminTracezSpanStore(t *testing.T) {
+	store := NewTraceStore(8)
+	t0 := time.Now().Add(-time.Second)
+	blue := NewTrace(OpIngest, "blue", 10, t0)
+	blue.Span("validate", -1, -1, t0, time.Millisecond)
+	blue.Finish(nil)
+	store.Add(blue)
+	green := NewTrace(OpIngest, "green", 5, t0)
+	green.Finish(nil)
+	store.Add(green)
+	a := Admin{Ops: NewTraceRing(8), Traces: store}
+
+	code, body := adminGet(t, a, "/tracez?tenant=blue")
+	if code != 200 {
+		t.Fatalf("/tracez?tenant=blue = %d", code)
+	}
+	var got struct {
+		Total      uint64          `json:"total"`
+		TraceTotal uint64          `json:"trace_total"`
+		Tenants    []string        `json:"tenants"`
+		Traces     []TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/tracez not JSON: %v\n%s", err, body)
+	}
+	if got.TraceTotal != 1 || len(got.Traces) != 1 || got.Traces[0].Tenant != "blue" {
+		t.Fatalf("tenant filter leaked: %+v", got)
+	}
+	if len(got.Tenants) != 2 {
+		t.Fatalf("tenants = %v, want [blue green]", got.Tenants)
+	}
+	if len(got.Traces[0].Spans) != 1 || got.Traces[0].Spans[0].Name != "validate" {
+		t.Fatalf("span tree = %+v", got.Traces[0].Spans)
+	}
+
+	// Exemplar resolution: one trace by ID.
+	code, body = adminGet(t, a, fmt.Sprintf("/tracez?trace=%d", blue.ID()))
+	if code != 200 {
+		t.Fatalf("/tracez?trace= = %d", code)
+	}
+	var snap TraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.ID != blue.ID() {
+		t.Fatalf("trace lookup = %+v err=%v", snap, err)
+	}
+	if code, _ := adminGet(t, a, "/tracez?trace=99999999"); code != 404 {
+		t.Fatalf("missing trace = %d, want 404", code)
+	}
+	if code, _ := adminGet(t, a, "/tracez?trace=xyz"); code != 400 {
+		t.Fatalf("bad trace id = %d, want 400", code)
 	}
 }

@@ -206,7 +206,14 @@ func (r *Registry) registerHistogram(name, help string, scale float64) *Histogra
 			if i < histBuckets {
 				le = fmtVal(s.UpperBound(i) * scale)
 			}
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			if id := s.ExemplarID[i]; id != 0 {
+				// OpenMetrics-style exemplar: the slowest traced observation
+				// in this bucket, resolvable at /tracez?trace=<id>.
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_id=\"%d\"} %s\n",
+					name, le, cum, uint64(id), fmtVal(float64(s.ExemplarVal[i])*scale))
+			} else {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			}
 		}
 		fmt.Fprintf(w, "%s_sum %s\n", name, fmtVal(float64(s.Sum)*scale))
 		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)

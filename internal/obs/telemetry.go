@@ -2,6 +2,7 @@ package obs
 
 import (
 	"log/slog"
+	"strconv"
 	"time"
 )
 
@@ -43,8 +44,16 @@ type Telemetry struct {
 
 	Ops *TraceRing
 
+	// Traces retains sampled span traces per tenant; Sampler decides which
+	// batches get one (head sampling at a bounded rate, boosted after slow
+	// ops). Both are nil-safe: with either nil, StartTrace returns nil and
+	// the pipeline runs untraced.
+	Traces  *TraceStore
+	Sampler *Sampler
+
 	// SlowOp, when positive, logs any recorded op at least this slow to
-	// Logger at Warn level.
+	// Logger at Warn level, tail-captures it as a trace even when head
+	// sampling passed it by, and boosts the sampler around the incident.
 	SlowOp time.Duration
 	Logger *slog.Logger
 }
@@ -69,12 +78,32 @@ func NewTelemetry(reg *Registry) *Telemetry {
 		ReplayQuery:       reg.NewHistogram("poetd_replay_query_seconds", "Latency of one QUERY@ batch answered from sealed history."),
 
 		Ops: NewTraceRing(DefaultTraceCap),
+
+		Traces:  NewTraceStore(DefaultTraceStoreCap),
+		Sampler: NewSampler(DefaultTraceRate),
 	}
 }
 
-// RecordOp traces one finished operation and, when it exceeds the SlowOp
-// threshold, logs it at Warn. Safe on a nil receiver.
-func (t *Telemetry) RecordOp(kind string, size int, start time.Time, d time.Duration, err error) {
+// StartTrace consults the sampling policy and, for sampled batches, starts
+// a span trace rooted at start. The usual nil return means "not sampled";
+// every span method on a nil *Trace is a no-op, so callers thread the
+// result unconditionally. Safe on a nil receiver.
+func (t *Telemetry) StartTrace(kind, tenant string, size int, start time.Time) *Trace {
+	if t == nil || t.Traces == nil || !t.Sampler.Sample(start) {
+		return nil
+	}
+	return NewTrace(kind, tenant, size, start)
+}
+
+// RecordOp traces one finished operation, attributed to tenant. tr is the
+// batch's span trace (nil when unsampled): it is finished, retained in the
+// per-tenant store, and its ID linked from the op ring. An op at least
+// SlowOp slow is logged at Warn, boosts the sampler, and — when head
+// sampling missed it — is tail-captured as a root-only trace so every slow
+// batch is inspectable at /tracez. Tail-sampled slow ops additionally emit
+// one structured wide-event line with the full stage breakdown. Safe on a
+// nil receiver.
+func (t *Telemetry) RecordOp(kind, tenant string, size int, start time.Time, d time.Duration, err error, tr *Trace) {
 	if t == nil {
 		return
 	}
@@ -82,8 +111,50 @@ func (t *Telemetry) RecordOp(kind string, size int, start time.Time, d time.Dura
 	if err != nil {
 		msg = err.Error()
 	}
-	t.Ops.Record(Op{Kind: kind, Size: size, Start: start, Duration: d, Err: msg})
-	if t.SlowOp > 0 && d >= t.SlowOp && t.Logger != nil {
-		t.Logger.Warn("slow op", "kind", kind, "size", size, "duration", d, "err", msg)
+	slow := t.SlowOp > 0 && d >= t.SlowOp
+	if slow && tr == nil && t.Traces != nil {
+		// Tail capture: the batch was not head-sampled, but it was slow —
+		// retain a root-only trace so the op still resolves at /tracez.
+		tr = NewTrace(kind, tenant, size, start)
 	}
+	if tr != nil {
+		tr.Finish(err)
+		t.Traces.Add(tr)
+	}
+	t.Ops.Record(Op{Kind: kind, Tenant: tenant, Size: size, Start: start, Duration: d, Err: msg, Trace: tr.ID()})
+	if slow {
+		t.Sampler.Boost(start.Add(d))
+		if t.Logger != nil {
+			t.Logger.Warn("slow op", "kind", kind, "tenant", tenant, "size", size,
+				"duration", d, "trace_id", uint64(tr.ID()), "err", msg)
+			t.logWideEvent(tr)
+		}
+	}
+}
+
+// logWideEvent emits one structured line carrying the whole trace — the
+// "wide event" form for tail-sampled batches: everything a log pipeline
+// needs to aggregate slow-batch causes without scraping /tracez.
+func (t *Telemetry) logWideEvent(tr *Trace) {
+	if tr == nil || t.Logger == nil {
+		return
+	}
+	snap := tr.Snapshot()
+	attrs := make([]any, 0, 2*(6+len(snap.Spans)))
+	attrs = append(attrs,
+		"trace_id", uint64(snap.ID),
+		"tenant", snap.Tenant,
+		"kind", snap.Kind,
+		"size", snap.Size,
+		"duration", snap.Duration,
+		"self", snap.Self,
+	)
+	for _, sp := range snap.Spans {
+		key := "span_" + sp.Name
+		if sp.Lane >= 0 {
+			key += "_l" + strconv.Itoa(sp.Lane)
+		}
+		attrs = append(attrs, key, sp.Dur)
+	}
+	t.Logger.Warn("slow batch trace", attrs...)
 }

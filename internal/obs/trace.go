@@ -8,13 +8,17 @@ import (
 
 // Op is one traced operation: an ingested batch, a query batch, a WAL
 // fsync — whatever the instrumented layer chose to record. Err is the error
-// text ("" on success) so traces stay plain data.
+// text ("" on success) so traces stay plain data. Tenant names the namespace
+// the op ran in (empty for ops outside any tenant scope) and Trace, when
+// non-zero, links to the span trace sampled for this op in the TraceStore.
 type Op struct {
 	Kind     string        `json:"kind"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Size     int           `json:"size"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Err      string        `json:"err,omitempty"`
+	Trace    TraceID       `json:"trace_id,omitempty"`
 }
 
 // TraceRing is a bounded ring buffer of recent operations, the daemon's

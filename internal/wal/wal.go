@@ -108,6 +108,13 @@ type Options struct {
 	AppendTimer   *obs.Histogram
 	FsyncTimer    *obs.Histogram
 	SnapshotTimer *obs.Histogram
+	// Spans, when non-nil, is consulted by Append for the current batch's
+	// span trace (the collector installs it around each journaled run).
+	// Append and its inline group-commit fsync record wal_append/wal_fsync
+	// spans there; background fsyncs (tick loop, compaction) never attach
+	// to a trace. The append latency histogram also remembers the trace ID
+	// as a bucket exemplar.
+	Spans *obs.SpanScope
 }
 
 func (o Options) withDefaults() Options {
@@ -154,7 +161,9 @@ type Log struct {
 	frozen     []segment     // sealed segments awaiting compaction
 	dirtyBytes int           // bytes written since the last fsync
 	lastSync   time.Time
-	appending  bool // an Append has happened (Replay no longer allowed)
+	appending  bool       // an Append has happened (Replay no longer allowed)
+	curTrace   *obs.Trace // span trace of the Append in progress (under mu)
+	curSpan    int        // its wal_append span, parent for wal_fsync
 	compacting bool
 	encBuf     []byte
 
@@ -560,14 +569,19 @@ func (l *Log) Append(events []model.Event) error {
 	if len(events) == 0 {
 		return nil
 	}
+	tr := l.opts.Spans.Get()
 	if t := l.opts.AppendTimer; t != nil {
-		defer func(start time.Time) { t.ObserveSince(start) }(time.Now())
+		defer func(start time.Time) { t.ObserveExemplar(time.Since(start), tr.ID()) }(time.Now())
 	}
+	sp := tr.Begin("wal_append", -1, -1)
+	defer tr.End(sp)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
+	l.curTrace, l.curSpan = tr, sp
+	defer func() { l.curTrace = nil }()
 	l.appending = true
 	for start := 0; start < len(events); {
 		end := start + maxEventsPerRecord
@@ -642,13 +656,16 @@ func (l *Log) syncLocked() error {
 		return nil
 	}
 	var start time.Time
-	if l.opts.FsyncTimer != nil {
+	if l.opts.FsyncTimer != nil || l.curTrace != nil {
 		start = time.Now()
 	}
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.opts.FsyncTimer.ObserveSince(start)
+	if l.curTrace != nil {
+		l.curTrace.Span("wal_fsync", -1, l.curSpan, start, time.Since(start))
+	}
 	l.dirtyBytes = 0
 	l.lastSync = time.Now()
 	l.counters.Fsyncs.Add(1)
