@@ -38,7 +38,8 @@
 // through the pipeline (decode, validate, WAL append/fsync, plan, per-lane
 // stamp), batches slower than -slow-op are always captured, and histogram
 // buckets on /metrics carry exemplar trace IDs that resolve at
-// /tracez?trace=<id> (DESIGN.md §14).
+// /tracez?trace=<id> — scrape with Accept: application/openmetrics-text to
+// see them; the classic text format has no exemplar syntax (DESIGN.md §14).
 //
 // Each connection speaks one of two protocols, auto-detected from its first
 // byte. Protocol v2 is the production path: length-prefixed binary frames

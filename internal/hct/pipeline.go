@@ -154,10 +154,10 @@ type Pipeline struct {
 	closed    bool
 
 	// Tracing state for the Dispatch in progress (guarded by planMu).
-	// curBT tags staged items; planSpan parents the inline single-shard
-	// stamp span; stampStart/stampDur accumulate inline stamping time.
+	// curBT tags staged items; stampStart/stampDur accumulate inline
+	// single-shard stamping time, folded into one stamp span by
+	// DispatchTraced.
 	curBT      BatchTracer
-	planSpan   int
 	stampStart time.Time
 	stampDur   time.Duration
 
@@ -320,7 +320,7 @@ func (p *Pipeline) DispatchTraced(events []model.Event, bt BatchTracer) error {
 	if bt != nil {
 		bt.Span("plan_wait", -1, -1, lockStart, time.Since(lockStart))
 		planSpan = bt.Begin("plan", -1, -1)
-		p.curBT, p.planSpan = bt, planSpan
+		p.curBT = bt
 	}
 	var firstErr error
 	for i := range events {

@@ -259,14 +259,19 @@ func (s *Server) ingestLoop() {
 // quota gate and the ingest telemetry: the end-to-end batch latency
 // histogram (with the trace ID as a bucket exemplar when sampled) and one
 // tenant-attributed op-trace record per batch. An over-quota batch is
-// rejected whole before touching the collector. tr, when non-nil, threads
-// the batch's span trace through the collector into the pipeline and is
-// finished here.
+// rejected whole before touching the collector — but it still gets an op
+// record (duration 0: the rejection does no ingest work) and its trace, if
+// sampled, is finished and retained, so quota incidents stay visible at
+// /tracez. tr, when non-nil, threads the batch's span trace through the
+// collector into the pipeline and is finished here.
 func (s *Server) submitInstrumented(t *Tenant, events []model.Event, tr *obs.Trace) (int, error) {
+	o := s.obs
 	if err := t.checkQuota(len(events)); err != nil {
+		if o != nil {
+			o.RecordOp(obs.OpIngest, t.name, len(events), time.Now(), 0, err, tr)
+		}
 		return 0, err
 	}
-	o := s.obs
 	if o == nil {
 		n, err := t.collector.SubmitBatch(events)
 		t.accepted.Add(int64(n))

@@ -190,7 +190,8 @@ func TestTraceSpanTreeEndToEnd(t *testing.T) {
 
 // TestMetricsExemplarResolvesToTrace checks the exemplar loop: the ingest
 // histogram remembers the trace ID of the slowest traced batch per bucket,
-// the /metrics exposition renders it, and the ID resolves to a retained
+// the OpenMetrics exposition renders it (the classic 0.0.4 format has no
+// exemplar syntax and must stay clean), and the ID resolves to a retained
 // span tree in the trace store — the /metrics → /tracez pivot.
 func TestMetricsExemplarResolvesToTrace(t *testing.T) {
 	tr := workload.RandomSparse(8, 2, 300, 9)
@@ -224,11 +225,81 @@ func TestMetricsExemplarResolvesToTrace(t *testing.T) {
 		t.Fatalf("exemplar trace %d not resolvable in the trace store", id)
 	}
 	var sb strings.Builder
-	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+	if err := tel.Registry.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), `# {trace_id="`) {
-		t.Fatal("/metrics exposition carries no exemplar annotation")
+		t.Fatal("OpenMetrics exposition carries no exemplar annotation")
+	}
+	sb.Reset()
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# {") {
+		t.Fatal("classic exposition carries an exemplar annotation (breaks 0.0.4 scrapes)")
+	}
+}
+
+// TestQuotaRejectionTraced pins the quota path's observability: a batch the
+// tenant event quota rejects still finishes its span trace (started at
+// decode), retains it in the trace store, and records an op carrying the
+// trace ID and the quota error — over-quota batches, a likely incident
+// cause, must be visible at /tracez rather than silently dropped.
+func TestQuotaRejectionTraced(t *testing.T) {
+	tel := obs.NewTelemetry(obs.NewRegistry())
+	tel.Sampler = obs.NewSampler(1e9) // sample every batch
+	srv, addr := startTenantServer(t, 4, ServerConfig{
+		Obs: tel,
+		Tenants: &TenantsConfig{
+			New:                testTenantFactory(4),
+			MaxEventsPerTenant: 2,
+		},
+	})
+	defer srv.Close()
+
+	c, err := DialV2(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	within := []model.Event{
+		{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary},
+		{ID: model.EventID{Process: 0, Index: 2}, Kind: model.Unary},
+	}
+	if err := c.ReportBatch(within); err != nil {
+		t.Fatalf("ReportBatch within quota: %v", err)
+	}
+	over := []model.Event{{ID: model.EventID{Process: 1, Index: 1}, Kind: model.Unary}}
+	if err := c.ReportBatch(over); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("ReportBatch over quota = %v, want quota error", err)
+	}
+
+	var rejected obs.Op
+	for _, op := range tel.Ops.Snapshot() {
+		if strings.Contains(op.Err, "quota") {
+			rejected = op
+			break
+		}
+	}
+	if rejected.Err == "" {
+		t.Fatal("no op recorded for the quota-rejected batch")
+	}
+	if rejected.Trace == 0 {
+		t.Fatal("quota-rejected op carries no trace ID")
+	}
+	if rejected.Tenant != DefaultTenant {
+		t.Fatalf("rejected op attributed to tenant %q, want %q", rejected.Tenant, DefaultTenant)
+	}
+	tr := tel.Traces.Find(rejected.Trace)
+	if tr == nil {
+		t.Fatalf("quota-rejected trace %d not retained in the store", rejected.Trace)
+	}
+	snap := tr.Snapshot()
+	if !strings.Contains(snap.Err, "quota") {
+		t.Fatalf("retained trace error %q does not carry the quota rejection", snap.Err)
+	}
+	if snap.Duration <= 0 {
+		t.Fatal("quota-rejected trace was never finished (duration 0)")
 	}
 }
 

@@ -41,13 +41,26 @@ type Histogram struct {
 	max        atomic.Int64
 
 	// Exemplars: per bucket, the trace ID and value of the slowest traced
-	// observation that landed there (see ObserveExemplar). The val/id pair
-	// is not updated atomically as a unit — a racing exemplar may briefly
-	// pair one trace's value with another's ID, which is acceptable for a
-	// debugging pointer and keeps the path lock-free.
+	// observation that landed there within the last exemplarTTL (see
+	// ObserveExemplar); exTS is the exemplar's install time in unix nanos.
+	// The val/id/ts triple is not updated atomically as a unit — a racing
+	// exemplar may briefly pair one trace's value with another's ID, which
+	// is acceptable for a debugging pointer and keeps the path lock-free.
 	exVal [histBuckets + 1]atomic.Int64
 	exID  [histBuckets + 1]atomic.Uint64
+	exTS  [histBuckets + 1]atomic.Int64
 }
+
+// exemplarTTL bounds an exemplar's reign over its bucket: while the current
+// exemplar is younger than this, only a slower traced observation replaces
+// it; once it ages out, the next traced observation takes over regardless.
+// Without the window the slowest-ever observation wins forever, and its
+// trace — evicted from the bounded per-tenant rings long ago — would 404 at
+// /tracez exactly when a dashboard user follows the exemplar. The window is
+// a couple of scrape intervals: long enough to keep "slowest per bucket"
+// meaningful within a scrape, short enough that exemplar IDs usually still
+// resolve to retained traces.
+const exemplarTTL = 30 * time.Second
 
 // bucketOf returns the bucket index for observation v: the smallest i with
 // v <= 2^i, clamped to the +Inf bucket.
@@ -89,8 +102,10 @@ func (h *Histogram) ObserveValue(v int64) {
 
 // ObserveExemplar records one latency observation and, when id is non-zero,
 // remembers it as the bucket's exemplar if it is the slowest traced
-// observation seen in that bucket. Untraced call sites use Observe and pay
-// nothing for the exemplar machinery.
+// observation in that bucket within the last exemplarTTL; a stale exemplar
+// is replaced by any traced observation, so exemplar IDs keep pointing at
+// traces the bounded rings still retain. Untraced call sites use Observe
+// (or pass id 0) and pay nothing for the exemplar machinery.
 func (h *Histogram) ObserveExemplar(d time.Duration, id TraceID) {
 	if h == nil {
 		return
@@ -101,13 +116,15 @@ func (h *Histogram) ObserveExemplar(d time.Duration, id TraceID) {
 		return
 	}
 	b := bucketOf(v)
+	now := time.Now().UnixNano()
 	for {
 		cur := h.exVal[b].Load()
-		if v < cur {
-			return
+		if v < cur && now-h.exTS[b].Load() < int64(exemplarTTL) {
+			return // the reigning exemplar is slower and still fresh
 		}
 		if h.exVal[b].CompareAndSwap(cur, v) {
 			h.exID[b].Store(uint64(id))
+			h.exTS[b].Store(now)
 			return
 		}
 	}
@@ -126,8 +143,9 @@ func (h *Histogram) observe(v int64) {
 
 // HistSnapshot is a point-in-time copy of a histogram. Buckets are
 // non-cumulative per-bucket counts; index histBuckets is the +Inf bucket.
-// ExemplarID[i] is the trace ID of the slowest traced observation in bucket
-// i (0 = none) and ExemplarVal[i] its raw value.
+// ExemplarID[i] is the trace ID of the slowest recently traced observation
+// in bucket i (0 = none, aging per exemplarTTL) and ExemplarVal[i] its raw
+// value.
 type HistSnapshot struct {
 	Buckets     [histBuckets + 1]uint64
 	Count       uint64

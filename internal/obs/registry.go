@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -59,13 +60,17 @@ func (g *Gauge) Value() float64 {
 
 // entry is one registered metric: its metadata and a renderer that appends
 // the sample lines (everything below # HELP/# TYPE) for the current state.
+// om selects the OpenMetrics dialect: counters gain the mandatory _total
+// sample suffix and histogram buckets carry exemplars, which the classic
+// 0.0.4 text format has no syntax for.
 type entry struct {
 	name, help, typ string
-	write           func(w *bufio.Writer)
+	write           func(w *bufio.Writer, om bool)
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
-// exposition format (version 0.0.4). Registration is cheap but locked;
+// exposition format — classic (version 0.0.4) or OpenMetrics, negotiated
+// per scrape by Handler. Registration is cheap but locked;
 // updating a registered instrument is lock-free. Metric names must be unique
 // and match [a-zA-Z_:][a-zA-Z0-9_:]* — violations panic, as they are
 // programming errors on the daemon's fixed instrument set.
@@ -117,11 +122,22 @@ func fmtVal(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// counterSample returns the sample name for a counter: unchanged in the
+// classic format; in OpenMetrics the spec requires the _total suffix (the
+// daemon's counters already carry it, so their series names are identical
+// in both dialects).
+func counterSample(name string, om bool) string {
+	if om && !strings.HasSuffix(name, "_total") {
+		return name + "_total"
+	}
+	return name
+}
+
 // NewCounter registers and returns a counter.
 func (r *Registry) NewCounter(name, help string) *Counter {
 	c := &Counter{name: name, help: help}
-	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer) {
-		fmt.Fprintf(w, "%s %s\n", name, fmtVal(float64(c.Value())))
+	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer, om bool) {
+		fmt.Fprintf(w, "%s %s\n", counterSample(name, om), fmtVal(float64(c.Value())))
 	}})
 	return c
 }
@@ -129,7 +145,7 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{name: name, help: help}
-	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer, _ bool) {
 		fmt.Fprintf(w, "%s %s\n", name, fmtVal(g.Value()))
 	}})
 	return g
@@ -140,14 +156,14 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // server's atomic ServerCounters): the existing counter stays the single
 // source of truth and the registry only exposes it.
 func (r *Registry) CounterFunc(name, help string, fn func() float64) {
-	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer) {
-		fmt.Fprintf(w, "%s %s\n", name, fmtVal(fn()))
+	r.register(entry{name: name, help: help, typ: "counter", write: func(w *bufio.Writer, om bool) {
+		fmt.Fprintf(w, "%s %s\n", counterSample(name, om), fmtVal(fn()))
 	}})
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at render time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer, _ bool) {
 		fmt.Fprintf(w, "%s %s\n", name, fmtVal(fn()))
 	}})
 }
@@ -166,7 +182,7 @@ func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]f
 	}
 	var mu sync.Mutex
 	var keys []string
-	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer) {
+	r.register(entry{name: name, help: help, typ: "gauge", write: func(w *bufio.Writer, _ bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		vals := fn()
@@ -197,7 +213,7 @@ func (r *Registry) NewSizeHistogram(name, help string) *Histogram {
 
 func (r *Registry) registerHistogram(name, help string, scale float64) *Histogram {
 	h := &Histogram{name: name, help: help, scale: scale}
-	r.register(entry{name: name, help: help, typ: "histogram", write: func(w *bufio.Writer) {
+	r.register(entry{name: name, help: help, typ: "histogram", write: func(w *bufio.Writer, om bool) {
 		s := h.Snapshot()
 		var cum uint64
 		for i := 0; i <= histBuckets; i++ {
@@ -206,9 +222,11 @@ func (r *Registry) registerHistogram(name, help string, scale float64) *Histogra
 			if i < histBuckets {
 				le = fmtVal(s.UpperBound(i) * scale)
 			}
-			if id := s.ExemplarID[i]; id != 0 {
-				// OpenMetrics-style exemplar: the slowest traced observation
-				// in this bucket, resolvable at /tracez?trace=<id>.
+			if id := s.ExemplarID[i]; om && id != 0 {
+				// Exemplar: the slowest recently traced observation in this
+				// bucket, resolvable at /tracez?trace=<id>. OpenMetrics only —
+				// the classic 0.0.4 parser rejects anything after the value,
+				// so emitting it there would fail the whole scrape.
 				fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_id=\"%d\"} %s\n",
 					name, le, cum, uint64(id), fmtVal(float64(s.ExemplarVal[i])*scale))
 			} else {
@@ -221,9 +239,23 @@ func (r *Registry) registerHistogram(name, help string, scale float64) *Histogra
 	return h
 }
 
-// WritePrometheus renders every registered metric in name order: a # HELP
-// and # TYPE line followed by the metric's samples.
+// WritePrometheus renders every registered metric in name order — a # HELP
+// and # TYPE line followed by the metric's samples — in the classic text
+// exposition format (version 0.0.4). The classic format has no exemplar
+// syntax, so none are emitted; use WriteOpenMetrics for those.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format
+// (version 1.0.0): counter samples carry the spec-mandated _total suffix
+// (the family name in # HELP/# TYPE drops it), histogram buckets carry
+// exemplars, and the output is terminated with # EOF.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, om bool) error {
 	r.mu.Lock()
 	entries := make([]entry, len(r.entries))
 	copy(entries, r.entries)
@@ -232,17 +264,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	bw := bufio.NewWriterSize(w, 16*1024)
 	for _, e := range entries {
-		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
-		fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, e.typ)
-		e.write(bw)
+		name := e.name
+		if om && e.typ == "counter" {
+			// OpenMetrics names the family without the _total sample suffix.
+			name = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, e.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, e.typ)
+		e.write(bw, om)
+	}
+	if om {
+		bw.WriteString("# EOF\n")
 	}
 	return bw.Flush()
 }
 
-// Handler returns the /metrics endpoint for this registry.
+// Exposition content types, negotiated by Handler via the Accept header.
+const (
+	contentTypeClassic     = "text/plain; version=0.0.4; charset=utf-8"
+	contentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// Handler returns the /metrics endpoint for this registry. Clients that
+// accept application/openmetrics-text (Prometheus does when exemplar
+// ingestion is enabled) get the OpenMetrics rendering with exemplars;
+// everyone else gets the classic 0.0.4 format, whose parsers would reject
+// exemplar annotations.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", contentTypeOpenMetrics)
+			r.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeClassic)
 		r.WritePrometheus(w)
 	})
 }

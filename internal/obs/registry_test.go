@@ -208,6 +208,48 @@ func TestRegistryHandler(t *testing.T) {
 	}
 }
 
+// TestRegistryHandlerNegotiatesOpenMetrics pins the scrape-format contract:
+// a plain scrape gets the classic 0.0.4 format with no exemplar syntax; a
+// client accepting application/openmetrics-text gets the OpenMetrics
+// rendering — # EOF terminated, counters as family + _total sample — which
+// is the only dialect that may carry exemplars.
+func TestRegistryHandlerNegotiatesOpenMetrics(t *testing.T) {
+	reg := buildTestRegistry(t)
+	reg.NewHistogram("test_exemplared_seconds", "Traced latency.").
+		ObserveExemplar(time.Millisecond, 7)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type %q, want openmetrics", ct)
+	}
+	om := rec.Body.String()
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatal("OpenMetrics body not terminated with # EOF")
+	}
+	if !strings.Contains(om, `# {trace_id="7"}`) {
+		t.Fatal("OpenMetrics body missing the exemplar")
+	}
+	// Counter family drops the _total suffix, the sample keeps it.
+	if !strings.Contains(om, "# TYPE test_ops counter") || !strings.Contains(om, "test_ops_total 42") {
+		t.Fatalf("counter not rendered as family+_total sample:\n%s", om)
+	}
+
+	// The classic scrape of the same registry must carry no exemplar and
+	// no # EOF, and keeps the counter's registered name in HELP/TYPE.
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	classic := rec.Body.String()
+	if strings.Contains(classic, "# {") || strings.Contains(classic, "# EOF") {
+		t.Fatalf("classic exposition leaked OpenMetrics syntax:\n%s", classic)
+	}
+	if !strings.Contains(classic, "# TYPE test_ops_total counter") {
+		t.Fatal("classic exposition renamed the counter family")
+	}
+}
+
 // TestGaugeVecFuncReusedMapConcurrentScrapes pins the serialization contract
 // added for allocation-free scrapes: a GaugeVecFunc callback may return the
 // same map on every call, and concurrent renders — which run outside the

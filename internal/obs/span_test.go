@@ -299,22 +299,56 @@ func TestHistogramExemplar(t *testing.T) {
 	nilH.ObserveExemplar(time.Millisecond, 3) // no-op
 }
 
+// TestHistogramExemplarAges pins the aging rule: a fresh exemplar yields
+// only to slower observations, a stale one to any traced observation — so
+// exemplar IDs keep pointing at traces the bounded rings still retain.
+func TestHistogramExemplarAges(t *testing.T) {
+	var h Histogram
+	h.ObserveExemplar(100*time.Nanosecond, 7)
+	b := bucketOf(int64(100 * time.Nanosecond))
+	// Fresh: the faster same-bucket observation does not displace it.
+	h.ObserveExemplar(90*time.Nanosecond, 8)
+	if s := h.Snapshot(); s.ExemplarID[b] != 7 {
+		t.Fatalf("fresh exemplar displaced by a faster observation (id %d)", s.ExemplarID[b])
+	}
+	// Stale: backdate the install time past the TTL; now any traced
+	// observation in the bucket takes over, even a faster one.
+	h.exTS[b].Store(time.Now().Add(-2 * exemplarTTL).UnixNano())
+	h.ObserveExemplar(90*time.Nanosecond, 9)
+	s := h.Snapshot()
+	if s.ExemplarID[b] != 9 || s.ExemplarVal[b] != int64(90*time.Nanosecond) {
+		t.Fatalf("stale exemplar not replaced: id %d val %d", s.ExemplarID[b], s.ExemplarVal[b])
+	}
+}
+
 func TestRegistryRendersExemplars(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.NewHistogram("test_exemplar_seconds", "help")
 	h.ObserveExemplar(100*time.Microsecond, 42)
 	h.Observe(time.Microsecond)
 	var sb strings.Builder
-	if err := reg.WritePrometheus(&sb); err != nil {
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, `# {trace_id="42"}`) {
-		t.Fatalf("exposition lacks the exemplar:\n%s", out)
+		t.Fatalf("OpenMetrics exposition lacks the exemplar:\n%s", out)
 	}
 	// Only the traced bucket carries one.
 	if n := strings.Count(out, "# {trace_id="); n != 1 {
 		t.Fatalf("%d exemplar annotations, want 1:\n%s", n, out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition not terminated with # EOF:\n%s", out)
+	}
+	// The classic 0.0.4 format has no exemplar syntax — emitting one there
+	// breaks every standard Prometheus scrape, so it must stay clean.
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if classic := sb.String(); strings.Contains(classic, "# {") {
+		t.Fatalf("classic exposition carries an exemplar annotation:\n%s", classic)
 	}
 }
 
