@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-json experiments cover fuzz
+.PHONY: all build vet test race bench bench-json benchdiff experiments cover fuzz
 
 all: build vet test
 
@@ -33,7 +33,7 @@ bench-json:
 		-bench 'BenchmarkSweepKernel|BenchmarkCorpusSweep|BenchmarkServerIngest|BenchmarkWALIngest' \
 		-benchtime=1x -benchmem | go run ./cmd/benchjson > BENCH_sweep.json
 	{ go test ./internal/monitor/ -run '^$$' \
-		-bench 'BenchmarkIngestColumnar|BenchmarkIngestParallel|BenchmarkIngestMultiTenant|BenchmarkQueryParallel/ingest=true' \
+		-bench 'BenchmarkIngestColumnar|BenchmarkIngestParallel|BenchmarkIngestMultiTenant|BenchmarkPlannerScaling|BenchmarkQueryParallel/ingest=true' \
 		-benchtime=100x -benchmem; \
 	  go test ./internal/monitor/ -run '^$$' \
 		-bench 'BenchmarkObsOverhead' \
@@ -48,6 +48,15 @@ bench-json:
 		-bench 'BenchmarkReplayQuery' \
 		-benchtime=20000x -benchmem; } \
 		| go run ./cmd/benchjson > BENCH_query.json
+
+# Compare fresh ingest numbers against the committed baseline. Warns (does
+# not fail) on >10% events/sec regressions in the parallel-ingest series.
+benchdiff:
+	go test ./internal/monitor/ -run '^$$' \
+		-bench 'BenchmarkIngestParallel|BenchmarkPlannerScaling' \
+		-benchtime=100x -benchmem | go run ./cmd/benchjson > /tmp/benchdiff_new.json
+	go run ./cmd/benchdiff -old BENCH_query.json -new /tmp/benchdiff_new.json \
+		-metric events/sec -match 'BenchmarkIngestParallel/|BenchmarkPlannerScaling/' -warn-below 10
 
 # Re-run the paper's full Section 4 evaluation.
 experiments:

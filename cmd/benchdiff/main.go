@@ -1,0 +1,123 @@
+// Command benchdiff compares two bench-json documents (see cmd/benchjson and
+// `make bench-json`) and prints a per-benchmark delta table for one metric.
+//
+//	benchdiff -old BENCH_query.json -new /tmp/now.json \
+//	    -metric events/sec -match 'BenchmarkIngestParallel/' -warn-below 10
+//
+// For higher-is-better metrics (the default), -warn-below N emits a GitHub
+// Actions "::warning ::" annotation for every matched benchmark whose new
+// value regressed more than N percent below the old one; -lower-is-better
+// flips the direction for latency-style metrics. The exit status is 0 even
+// when warnings fire — regressions on shared CI runners are advisory, the
+// committed JSON is the reviewed record — unless -fail is also set.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+func load(path string) (doc, error) {
+	var d doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_query.json", "baseline bench-json document")
+	newPath := flag.String("new", "", "candidate bench-json document (required)")
+	metric := flag.String("metric", "events/sec", "metric unit to compare")
+	match := flag.String("match", "", "regexp over benchmark names (empty = all shared names)")
+	warnBelow := flag.Float64("warn-below", 0, "emit a ::warning:: when the delta regresses more than this percent (0 = never)")
+	lowerBetter := flag.Bool("lower-is-better", false, "treat increases as regressions (latency-style metrics)")
+	fail := flag.Bool("fail", false, "exit nonzero when a -warn-below regression fires")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if ob, nb := oldDoc.Env["cores"], newDoc.Env["cores"]; ob != "" && nb != "" && ob != nb {
+		fmt.Printf("note: core counts differ (old %s, new %s); deltas compare different hardware\n", ob, nb)
+	}
+
+	oldBy := make(map[string]float64, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		if v, ok := r.Metrics[*metric]; ok {
+			oldBy[r.Name] = v
+		}
+	}
+
+	regressed := false
+	compared := 0
+	fmt.Printf("%-70s %14s %14s %8s\n", "benchmark ("+*metric+")", "old", "new", "delta")
+	for _, r := range newDoc.Benchmarks {
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		nv, ok := r.Metrics[*metric]
+		if !ok {
+			continue
+		}
+		ov, ok := oldBy[r.Name]
+		if !ok || ov == 0 {
+			continue
+		}
+		compared++
+		delta := (nv - ov) / ov * 100
+		fmt.Printf("%-70s %14.1f %14.1f %+7.1f%%\n", r.Name, ov, nv, delta)
+		loss := -delta
+		if *lowerBetter {
+			loss = delta
+		}
+		if *warnBelow > 0 && loss > *warnBelow {
+			regressed = true
+			fmt.Printf("::warning ::%s %s regressed %.1f%% (old %.1f, new %.1f, threshold %.1f%%)\n",
+				r.Name, *metric, loss, ov, nv, *warnBelow)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping benchmarks matched")
+		os.Exit(2)
+	}
+	if regressed && *fail {
+		os.Exit(1)
+	}
+}

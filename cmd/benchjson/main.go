@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -32,7 +33,13 @@ type doc struct {
 }
 
 func main() {
-	out := doc{Env: map[string]string{}}
+	out := doc{Env: map[string]string{
+		// The parallelism the run actually had: single-core numbers trace a
+		// different trajectory than multi-core ones, and the committed JSON
+		// must say which it was.
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"cores":      strconv.Itoa(runtime.NumCPU()),
+	}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

@@ -120,6 +120,7 @@ func main() {
 		writeTO   = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown drain window")
 		shards    = flag.Int("ingest-shards", 0, "ingest shards (stamping lanes); 0 = GOMAXPROCS, 1 = single-writer")
+		planQueue = flag.Int("plan-queue", 0, "plan-queue depth (batches) for the pipelined planner; 0 = default (async when sharded), <0 = plan inline on the submitter")
 		walDir    = flag.String("wal", "", "write-ahead log root directory (empty = no durability); tenants use <root>/<tenant>/")
 		fsync     = flag.String("fsync", "batch", "WAL fsync policy: always | batch | never")
 		snapEvery = flag.Int64("snapshot-every", 1<<20, "cut a WAL snapshot every N events (0 = never)")
@@ -197,7 +198,7 @@ func main() {
 		if name != monitor.DefaultTenant && *tenantProcs > 0 {
 			nprocs = *tenantProcs
 		}
-		m, err := monitor.NewSharded(nprocs, newCfg(), *shards)
+		m, err := monitor.NewWithOptions(nprocs, newCfg(), hct.PipelineOptions{Shards: *shards, PlanQueue: *planQueue})
 		if err != nil {
 			return monitor.TenantResources{}, err
 		}
@@ -319,6 +320,7 @@ func main() {
 	logger.Info("monitoring",
 		"procs", *procs, "addr", bound, "strategy", *strat,
 		"maxcs", *maxCS, "maxbatch", *maxBatch, "ingest_shards", m.IngestShards(),
+		"planner_pipelined", m.Pipeline().PlannerPipelined(),
 		"tenants", srv.NumTenants(), "max_tenants", *maxTenants)
 	if *walDir != "" {
 		logger.Info("wal enabled", "dir", *walDir, "fsync", *fsync, "snapshot_every", *snapEvery, "legacy_layout", legacyRoot)

@@ -29,6 +29,28 @@ package hct
 // common case by construction, never crosses lanes); otherwise processes are
 // split into contiguous blocks.
 //
+// # Pipelined planner
+//
+// The plan stage itself can run off the submitter's goroutine: with the
+// pipelined planner (planner.go), DispatchAsync copies the batch onto a
+// bounded plan queue and returns, and a dedicated planner goroutine runs the
+// two planning passes and flushes to the lanes. The submitter — the server's
+// decode/WAL path — never touches planMu, so journaling batch N+1 overlaps
+// planning batch N, which overlaps stamping batch N-1. Synchronous Dispatch
+// calls route through the same queue and wait for the planner's verdict, so
+// the error contract is unchanged in either mode.
+//
+// Planning is split into two passes per batch (planBatch). Pass 1
+// (validateBatch) replays the store/fm validation state machine —
+// next/pendSend/syncHold — which reads no cluster state at all, and collects
+// the finalized events. Pass 2 (clusterPlanBatch) pins each event's cluster
+// epoch. Merge decisions are inherently sequential: each one can repartition
+// the processes the next decision consults. But a batch that provably cannot
+// merge — it contains no receive or sync events, or the decider is the
+// never-merging static strategy — cannot change the partition while it
+// plans, so pass 2 degenerates to pure epoch lookups against a frozen
+// partition.
+//
 // # Cross-shard rendezvous
 //
 // A receive needs the matching send's finalized clock. Same-lane sends park
@@ -41,6 +63,22 @@ package hct
 // induction over lanes, that every event it counts has published cell and
 // note — exactly the visibility invariant the routed precedence path needs
 // (store.go).
+//
+// Rendezvous traffic is batched per chunk. Outbound: a lane buffers its
+// cross-lane send clocks per stripe and flushes each stripe's batch under
+// one lock acquisition (one wakeup) instead of one per event. Deferring a
+// put is safe for visibility — the put-after-publish invariant only requires
+// the cell and note to precede the put, and delaying the put preserves that
+// — but it is only deadlock-free because a lane flushes its buffered puts
+// before EVERY operation that can block (a rendezvous take, the sync
+// exchange) and at the end of each chunk: a buffered put may be exactly the
+// clock another lane is blocked on, so no lane may sleep holding one.
+// Inbound: when a lane claims a chunk it prescans it and claims every
+// already-published clock its cross-lane receives will need, grouped per
+// stripe, under one lock acquisition each (prefetchTakes). Claiming early
+// cannot starve anyone — each send has exactly one receive, and the shard
+// map routes it to this lane — and misses simply fall back to the blocking
+// take.
 //
 // Deadlock-freedom: suppose lane A blocks at item iA (receive of send S in
 // lane B) and B blocks at iB (receive of send S' in A), with S queued after
@@ -68,6 +106,15 @@ package hct
 // items per shard; lanes count completed items per drained chunk. A held
 // first sync half is not "issued" (the single-writer path, too, returns from
 // DeliverBatch with the pair unstamped until the partner arrives).
+//
+// With the pipelined planner the issued counts lag the accepted batches, so
+// Barrier must count planned items, not just issued ones: it pushes a marker
+// through the plan queue (FIFO with the batches, exempt from the depth
+// bound), the planner answers it with an issued-count snapshot taken after
+// planning everything that preceded it, and Barrier then waits for the lanes
+// to cover that snapshot. When the queue is empty and the planner idle,
+// Barrier skips the round-trip and snapshots directly — the common case on
+// query paths, which barrier per query frame.
 
 import (
 	"errors"
@@ -81,6 +128,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/model"
 	"repro/internal/poset"
+	"repro/internal/strategy"
 	"repro/internal/vclock"
 )
 
@@ -115,6 +163,14 @@ type PipelineOptions struct {
 	// Shards is the number of ingest lanes. Zero or negative means
 	// GOMAXPROCS. The value is clamped to the number of processes.
 	Shards int
+
+	// PlanQueue selects where planning runs. Zero (the default) pipelines
+	// the planner onto its own goroutine behind a DefaultPlanQueue-deep
+	// batch queue whenever Shards > 1, and plans inline on the dispatching
+	// goroutine otherwise. A positive value forces the pipelined planner at
+	// that queue depth even with one shard (the planner goroutine then also
+	// stamps). A negative value forces inline planning at any shard count.
+	PlanQueue int
 }
 
 // item is one planned unit of lane work: the event plus the cluster epoch
@@ -149,9 +205,14 @@ type Pipeline struct {
 	events    int
 	crEvents  int
 	mergedCRs int
-	issued    []uint64 // items dispatched per shard
-	curBufs   [][]item // per-shard staging buffers for the current Dispatch
+	issued    []uint64      // items dispatched per shard
+	curBufs   [][]item      // per-shard staging buffers, capacity retained across batches
+	planBuf   []model.Event // validateBatch's finalized-event buffer, reused per batch
 	closed    bool
+
+	// neverMerge marks a decider that can never merge (the static strategy);
+	// it licenses clusterPlanBatch's read-only fast path for every batch.
+	neverMerge bool
 
 	// Tracing state for the Dispatch in progress (guarded by planMu).
 	// curBT tags staged items; stampStart/stampDur accumulate inline
@@ -173,6 +234,20 @@ type Pipeline struct {
 	snapPool sync.Pool // *[]uint64 barrier snapshots
 
 	wo atomic.Pointer[WaitObserver]
+
+	// Pipelined-planner state (planner.go). pq is the bounded plan queue;
+	// async is true when a planner goroutine owns the plan stage.
+	async     bool
+	pq        planQueue
+	plannerWG sync.WaitGroup
+	busy      atomic.Int64 // cumulative planner busy nanoseconds
+	start     time.Time
+
+	batchPool sync.Pool // *[]model.Event: owned batch copies for DispatchAsync
+	replyPool sync.Pool // chan error (cap 1) for queued synchronous dispatch
+	bwPool    sync.Pool // *barrierWait markers
+
+	pqo atomic.Pointer[SizeObserver]
 }
 
 // NewPipeline returns a sharded pipeline over numProcs processes. With one
@@ -197,10 +272,12 @@ func NewPipeline(numProcs int, cfg Config, opt PipelineOptions) (*Pipeline, erro
 		part:     part,
 		nshards:  nshards,
 		next:     make([]model.EventIndex, numProcs),
-		pendSend: make(map[model.EventID]model.EventID),
+		pendSend: make(map[model.EventID]model.EventID, numProcs),
 		issued:   make([]uint64, nshards),
 		done:     make([]uint64, nshards),
+		start:    time.Now(),
 	}
+	_, p.neverMerge = cfg.Decider.(*strategy.Never)
 	for i := range p.next {
 		p.next[i] = 1
 	}
@@ -210,20 +287,34 @@ func NewPipeline(numProcs int, cfg Config, opt PipelineOptions) (*Pipeline, erro
 	p.lanes = make([]*lane, nshards)
 	for i := range p.lanes {
 		ln := &lane{
-			pl:        p,
-			id:        int32(i),
-			frontier:  make([]vclock.Clock, numProcs),
-			localSend: make(map[model.EventID]vclock.Clock),
+			pl:         p,
+			id:         int32(i),
+			frontier:   make([]vclock.Clock, numProcs),
+			localSend:  make(map[model.EventID]vclock.Clock),
+			prefetched: make(map[model.EventID]vclock.Clock),
 		}
 		ln.cond = sync.NewCond(&ln.mu)
 		p.lanes[i] = ln
 	}
 	if nshards > 1 {
 		p.curBufs = make([][]item, nshards)
+		for i := range p.curBufs {
+			p.curBufs[i] = make([]item, 0, 256)
+		}
 		for i := range p.lanes {
 			p.wg.Add(1)
 			go p.lanes[i].run()
 		}
+	}
+	depth := opt.PlanQueue
+	if depth == 0 && nshards > 1 {
+		depth = DefaultPlanQueue
+	}
+	if depth > 0 {
+		p.async = true
+		p.pq.init(depth)
+		p.plannerWG.Add(1)
+		go p.planner()
 	}
 	return p, nil
 }
@@ -268,8 +359,9 @@ func buildShardMap(numProcs, nshards int, part *cluster.Partition, clusterAligne
 	return smap
 }
 
-// Close stops the lanes after draining their queues. Further Dispatch calls
-// fail with ErrPipelineClosed; the query surface stays usable.
+// Close stops the planner (draining its queue) and then the lanes (draining
+// theirs). Further Dispatch calls fail with ErrPipelineClosed; the query
+// surface stays usable.
 func (p *Pipeline) Close() {
 	p.planMu.Lock()
 	if p.closed {
@@ -278,6 +370,17 @@ func (p *Pipeline) Close() {
 	}
 	p.closed = true
 	p.planMu.Unlock()
+	if p.async {
+		// The planner must fully drain before the lanes are told to stop:
+		// a lane exits once its queue is empty, so items flushed after that
+		// would never be stamped.
+		p.pq.mu.Lock()
+		p.pq.stop = true
+		p.pq.ready.Signal()
+		p.pq.avail.Broadcast()
+		p.pq.mu.Unlock()
+		p.plannerWG.Wait()
+	}
 	if p.nshards > 1 {
 		for _, ln := range p.lanes {
 			ln.mu.Lock()
@@ -299,13 +402,18 @@ func (p *Pipeline) Dispatch(events []model.Event) error {
 }
 
 // DispatchTraced is Dispatch with a span sink for a sampled run: bt receives
-// plan_wait (time blocked on the planner mutex), plan (validation + cluster
-// decisions), and — with one shard — the inline stamp span. Multi-shard
-// stamping records per-lane spans asynchronously as the lanes drain. A nil
-// bt makes this identical to Dispatch.
+// plan_wait (time blocked on the planner mutex or queued behind earlier
+// batches), plan (validation + cluster decisions), and — with one shard —
+// the inline stamp span. Multi-shard stamping records per-lane spans
+// asynchronously as the lanes drain. A nil bt makes this identical to
+// Dispatch. On a pipelined-planner pipeline the call routes through the plan
+// queue and waits for the planner's verdict.
 func (p *Pipeline) DispatchTraced(events []model.Event, bt BatchTracer) error {
 	if len(events) == 0 {
 		return nil
+	}
+	if p.async {
+		return p.dispatchQueued(events, bt, true)
 	}
 	var lockStart time.Time
 	if bt != nil {
@@ -322,13 +430,7 @@ func (p *Pipeline) DispatchTraced(events []model.Event, bt BatchTracer) error {
 		planSpan = bt.Begin("plan", -1, -1)
 		p.curBT = bt
 	}
-	var firstErr error
-	for i := range events {
-		if err := p.planEvent(events[i]); err != nil {
-			firstErr = fmt.Errorf("at %v: %w", events[i].ID, err)
-			break
-		}
-	}
+	failID, err := p.planBatch(events)
 	p.flushLocked()
 	if bt != nil {
 		if p.stampDur > 0 {
@@ -338,86 +440,145 @@ func (p *Pipeline) DispatchTraced(events []model.Event, bt BatchTracer) error {
 		p.curBT = nil
 		bt.End(planSpan)
 	}
-	return firstErr
+	if err != nil {
+		return fmt.Errorf("at %v: %w", failID, err)
+	}
+	return nil
 }
 
 // DispatchOne plans and enqueues a single event, returning the raw
 // (unwrapped) validation error, mirroring Monitor.Deliver.
 func (p *Pipeline) DispatchOne(e model.Event) error {
+	events := [1]model.Event{e}
+	if p.async {
+		return p.dispatchQueued(events[:], nil, false)
+	}
 	p.planMu.Lock()
 	defer p.planMu.Unlock()
 	if p.closed {
 		return ErrPipelineClosed
 	}
-	err := p.planEvent(e)
+	_, err := p.planBatch(events[:])
 	p.flushLocked()
 	return err
 }
 
-// planEvent validates e, applies the planner-state mutations, and stages
-// the finalized stamping work. The validation order and error values
-// replicate the single-writer path exactly: the partial-order store's
-// checks (and mutations) come first, then the Fidge/Mattern layer's —
-// an event can mutate the frontier yet fail the fm checks, just as
-// poset.Store.Append succeeds before Timestamper.Ingest rejects.
-func (p *Pipeline) planEvent(e model.Event) error {
-	pr := int(e.ID.Process)
-	if pr < 0 || pr >= p.numProcs {
-		return fmt.Errorf("%w: %v", poset.ErrProcOutOfRange, e.ID)
-	}
-	want := p.next[pr]
-	if e.ID.Index < want {
-		return fmt.Errorf("%w: %v", poset.ErrDuplicate, e.ID)
-	}
-	if e.ID.Index != want {
-		return fmt.Errorf("%w: %v, want index %d", poset.ErrBadIndex, e.ID, want)
-	}
-	if e.Kind == model.Receive {
-		if _, ok := p.pendSend[e.Partner]; !ok {
-			return fmt.Errorf("%w: %v <- %v", poset.ErrUnknownSend, e.ID, e.Partner)
-		}
-		delete(p.pendSend, e.Partner)
-	}
-	if e.Kind == model.Send {
-		p.pendSend[e.ID] = e.Partner
-	}
-	p.next[pr] = want + 1
+// planBatch runs the two planner passes over one run and returns the raw
+// first error with the offending event's ID (the caller applies batch or
+// single-event wrapping). Called with planMu held.
+func (p *Pipeline) planBatch(events []model.Event) (model.EventID, error) {
+	final, hasRecv, failID, err := p.validateBatch(events)
+	p.clusterPlanBatch(final, hasRecv)
+	return failID, err
+}
 
-	// Fidge/Mattern layer.
-	if p.syncHold != nil && e.Kind != model.Sync {
-		return fmt.Errorf("%w: %v arrived while sync %v pending", fm.ErrSyncInterleaved, e.ID, p.syncHold.ID)
+// validateBatch is planning pass 1: the store/fm validation state machine
+// over next/pendSend/syncHold, replicated from the single-writer path with
+// the identical check order, error values, and partial mutations — an event
+// can consume its frontier slot yet fail the fm checks, just as
+// poset.Store.Append succeeds before Timestamper.Ingest rejects. It touches
+// no cluster state; finalized events (sync pairs adjacently, completed pairs
+// only) land in the reused planBuf for pass 2. hasRecv reports whether any
+// finalized event is a receive or sync — the only kinds that can be cluster
+// receives, and so the only ones that can merge.
+func (p *Pipeline) validateBatch(events []model.Event) (final []model.Event, hasRecv bool, failID model.EventID, err error) {
+	final = p.planBuf[:0]
+	for i := range events {
+		e := events[i]
+		pr := int(e.ID.Process)
+		if pr < 0 || pr >= p.numProcs {
+			failID, err = e.ID, fmt.Errorf("%w: %v", poset.ErrProcOutOfRange, e.ID)
+			break
+		}
+		want := p.next[pr]
+		if e.ID.Index < want {
+			failID, err = e.ID, fmt.Errorf("%w: %v", poset.ErrDuplicate, e.ID)
+			break
+		}
+		if e.ID.Index != want {
+			failID, err = e.ID, fmt.Errorf("%w: %v, want index %d", poset.ErrBadIndex, e.ID, want)
+			break
+		}
+		if e.Kind == model.Receive {
+			if _, ok := p.pendSend[e.Partner]; !ok {
+				failID, err = e.ID, fmt.Errorf("%w: %v <- %v", poset.ErrUnknownSend, e.ID, e.Partner)
+				break
+			}
+			delete(p.pendSend, e.Partner)
+		}
+		if e.Kind == model.Send {
+			p.pendSend[e.ID] = e.Partner
+		}
+		p.next[pr] = want + 1
+
+		// Fidge/Mattern layer.
+		if p.syncHold != nil && e.Kind != model.Sync {
+			failID, err = e.ID, fmt.Errorf("%w: %v arrived while sync %v pending", fm.ErrSyncInterleaved, e.ID, p.syncHold.ID)
+			break
+		}
+		switch e.Kind {
+		case model.Unary, model.Send:
+			final = append(final, e)
+		case model.Receive:
+			final = append(final, e)
+			hasRecv = true
+		case model.Sync:
+			if p.syncHold == nil {
+				held := e
+				p.syncHold = &held
+				continue
+			}
+			first := *p.syncHold
+			if first.Partner != e.ID || e.Partner != first.ID {
+				failID, err = e.ID, fmt.Errorf("%w: %v after %v", fm.ErrSyncPartner, e.ID, first.ID)
+				break
+			}
+			p.syncHold = nil
+			final = append(final, first, e)
+			hasRecv = true
+		default:
+			failID, err = e.ID, fmt.Errorf("fm: unknown event kind %v for %v", e.Kind, e.ID)
+		}
+		if err != nil {
+			break
+		}
 	}
-	switch e.Kind {
-	case model.Unary, model.Send, model.Receive:
-		p.stage(e)
-		return nil
-	case model.Sync:
-		if p.syncHold == nil {
-			held := e
-			p.syncHold = &held
-			return nil
+	p.planBuf = final // retain growth for the next batch
+	return final, hasRecv, failID, err
+}
+
+// clusterPlanBatch is planning pass 2: pin each finalized event's cluster
+// epoch and stage the item. Merge decisions stay sequential in delivery
+// order — each one can repartition the processes the next decision consults
+// — but a batch that provably cannot merge (no receive/sync events, or a
+// never-merging decider) reads a frozen partition, so its dispositions
+// reduce to pure epoch lookups with no decider round-trips.
+func (p *Pipeline) clusterPlanBatch(final []model.Event, hasRecv bool) {
+	if !hasRecv || p.neverMerge {
+		for i := range final {
+			e := final[i]
+			p.events++
+			cl := p.part.ClusterOf(int32(e.ID.Process))
+			if e.Kind.IsReceive() && !cl.Contains(int32(e.Partner.Process)) {
+				p.crEvents++
+				cl = nil
+			}
+			p.stageItem(e, cl)
 		}
-		first := *p.syncHold
-		if first.Partner != e.ID || e.Partner != first.ID {
-			return fmt.Errorf("%w: %v after %v", fm.ErrSyncPartner, e.ID, first.ID)
-		}
-		p.syncHold = nil
-		p.stage(first)
-		p.stage(e)
-		return nil
-	default:
-		return fmt.Errorf("fm: unknown event kind %v for %v", e.Kind, e.ID)
+		return
+	}
+	for i := range final {
+		p.stageItem(final[i], p.clusterPlan(final[i]))
 	}
 }
 
-// stage runs the cluster plan for one finalized event and hands the item to
-// its lane (inline with one shard).
-func (p *Pipeline) stage(e model.Event) {
-	it := item{ev: e, cl: p.clusterPlan(e), bt: p.curBT}
+// stageItem hands one planned item to its lane (inline with one shard).
+func (p *Pipeline) stageItem(e model.Event, cl *cluster.Info) {
+	it := item{ev: e, cl: cl, bt: p.curBT}
 	if p.nshards == 1 {
 		if p.curBT != nil {
 			// Inline stamping: accumulate into one stamp span (emitted by
-			// DispatchTraced) instead of one span per event.
+			// the dispatching path) instead of one span per event.
 			t0 := time.Now()
 			p.lanes[0].process(&it)
 			if p.stampDur == 0 {
@@ -486,9 +647,22 @@ func (p *Pipeline) flushLocked() {
 }
 
 // Barrier blocks until every item dispatched before the call has been
-// stamped and published. With one shard it is a no-op (Dispatch is
-// synchronous there). Safe for concurrent callers.
+// stamped and published. With an inline planner and one shard it is a no-op
+// (Dispatch is synchronous there); with the pipelined planner it also covers
+// every batch accepted by DispatchAsync before the call. Safe for concurrent
+// callers.
 func (p *Pipeline) Barrier() {
+	if p.async {
+		p.asyncBarrier()
+		return
+	}
+	p.snapshotBarrier()
+}
+
+// snapshotBarrier waits for the lanes to cover the current issued counts.
+// Correct only when every accepted batch has already been planned (inline
+// mode, or the async fast path with an idle planner).
+func (p *Pipeline) snapshotBarrier() {
 	if p.nshards == 1 {
 		return
 	}
@@ -666,6 +840,18 @@ type lane struct {
 	localSend map[model.EventID]vclock.Clock // same-lane in-flight sends
 	held      *heldSync
 
+	// Batched rendezvous state (see the file comment). pendPuts buffers
+	// outbound cross-lane send clocks per stripe; pendN counts them so the
+	// empty check is one comparison. Buffered puts are flushed under one
+	// stripe-lock acquisition each — before every blocking operation and at
+	// the end of each chunk. want is the per-stripe scratch for the chunk
+	// prescan; prefetched holds the clocks it claimed, consumed by this
+	// chunk's receives.
+	pendPuts   [rvStripes][]rvPut
+	pendN      int
+	want       [rvStripes][]model.EventID
+	prefetched map[model.EventID]vclock.Clock
+
 	// curBT/curSpan name the traced run whose items are being processed,
 	// so rendezvous waits attach as children of the lane's stamp span.
 	// Lane-goroutine-private (single-shard: written under planMu).
@@ -691,6 +877,7 @@ func (ln *lane) run() {
 		chunk := ln.queue
 		ln.queue = ln.spare[:0]
 		ln.mu.Unlock()
+		ln.prefetchTakes(chunk)
 		// Contiguous items from the same traced run share one stamp span;
 		// a chunk can interleave items from many dispatches, traced or not.
 		for i := 0; i < len(chunk); {
@@ -709,12 +896,83 @@ func (ln *lane) run() {
 			ln.curBT, ln.curSpan = nil, -1
 			bt.End(sp)
 		}
+		// Flush buffered puts before the done update and before blocking on
+		// an empty queue: another lane may need them to finish its chunk.
+		ln.flushPuts()
 		ln.spare = chunk[:0]
 		ln.pl.doneMu.Lock()
 		ln.pl.done[ln.id] += uint64(len(chunk))
 		ln.pl.doneCond.Broadcast()
 		ln.pl.doneMu.Unlock()
 	}
+}
+
+// prefetchTakes prescans a claimed chunk and claims, per stripe under one
+// lock acquisition, every already-published clock its cross-lane receives
+// will need. Misses stay in the rendezvous and fall back to the blocking
+// take. Claiming early cannot starve another lane: each send has exactly one
+// receive, and the shard map routes it here; and every claimed clock is
+// consumed before the chunk ends, because the receive that needs it is in
+// this chunk and lanes never abandon items.
+func (ln *lane) prefetchTakes(chunk []item) {
+	n := 0
+	for i := range chunk {
+		e := &chunk[i].ev
+		if e.Kind == model.Receive && ln.pl.smap[e.Partner.Process] != ln.id {
+			s := stripeIdx(e.Partner)
+			ln.want[s] = append(ln.want[s], e.Partner)
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for s := range ln.want {
+		ids := ln.want[s]
+		if len(ids) == 0 {
+			continue
+		}
+		st := &ln.pl.rv.stripes[s]
+		st.mu.Lock()
+		for _, id := range ids {
+			if clk, ok := st.clocks[id]; ok {
+				delete(st.clocks, id)
+				ln.prefetched[id] = clk
+			}
+		}
+		st.mu.Unlock()
+		ln.want[s] = ids[:0]
+	}
+}
+
+// flushPuts publishes the buffered cross-lane send clocks: one stripe-lock
+// acquisition and one wakeup per non-empty stripe, however many clocks it
+// carries. MUST be called before any operation that can block — a buffered
+// put may be exactly the clock another lane is blocked on.
+func (ln *lane) flushPuts() {
+	if ln.pendN == 0 {
+		return
+	}
+	for s := range ln.pendPuts {
+		ps := ln.pendPuts[s]
+		if len(ps) == 0 {
+			continue
+		}
+		st := &ln.pl.rv.stripes[s]
+		st.mu.Lock()
+		for _, pu := range ps {
+			st.clocks[pu.id] = pu.clk
+		}
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		// Ownership moved to the takers; drop the references so the buffer
+		// does not pin clocks now recycled by other lanes.
+		for j := range ps {
+			ps[j] = rvPut{}
+		}
+		ln.pendPuts[s] = ps[:0]
+	}
+	ln.pendN = 0
 }
 
 // process stamps one planned item, mirroring fm.ObserveBorrowed's clock
@@ -768,6 +1026,9 @@ func (ln *lane) processSync(it *item) {
 		ln.stamp(e, clk, it.cl)
 		return
 	}
+
+	// The exchange below blocks; buffered puts must be visible first.
+	ln.flushPuts()
 
 	// Round 1: exchange base clocks (put before take: no deadlock) and
 	// stamp the joint clock. max is commutative, so both sides compute the
@@ -839,23 +1100,31 @@ func (ln *lane) retain(clk vclock.Clock) vclock.Clock {
 
 // forwardSend parks a private copy of the send's finalized clock where its
 // receive will look: the lane-local map for a same-lane receiver, the
-// rendezvous for a cross-lane one.
+// per-stripe put buffer (flushed in batches) for a cross-lane one.
 func (ln *lane) forwardSend(e model.Event, clk vclock.Clock) {
 	cp := ln.retain(clk)
 	if ln.pl.smap[e.Partner.Process] == ln.id {
 		ln.localSend[e.ID] = cp
-	} else {
-		ln.pl.rv.put(e.ID, cp)
+		return
 	}
+	s := stripeIdx(e.ID)
+	ln.pendPuts[s] = append(ln.pendPuts[s], rvPut{id: e.ID, clk: cp})
+	ln.pendN++
 }
 
-// takeSend fetches the matching send's clock. The caller owns the result
-// and should recycle it after use.
+// takeSend fetches the matching send's clock — lane-local map, then the
+// chunk's prefetched claims, then the blocking rendezvous take. The caller
+// owns the result and should recycle it after use.
 func (ln *lane) takeSend(sendID model.EventID) vclock.Clock {
 	if clk, ok := ln.localSend[sendID]; ok {
 		delete(ln.localSend, sendID)
 		return clk
 	}
+	if clk, ok := ln.prefetched[sendID]; ok {
+		delete(ln.prefetched, sendID)
+		return clk
+	}
+	ln.flushPuts() // about to block: buffered puts must be visible first
 	clk, waited := ln.pl.rv.take(sendID)
 	ln.noteWait(waited)
 	return clk
@@ -879,11 +1148,21 @@ func (ln *lane) stamp(e model.Event, clk vclock.Clock, cl *cluster.Info) {
 	ln.pl.cols[p].publish()
 }
 
+// rvStripes is the number of rendezvous stripes (a power of two; the stripe
+// hash masks with rvStripes-1).
+const rvStripes = 64
+
+// rvPut is one buffered cross-lane send clock awaiting a batched publish.
+type rvPut struct {
+	id  model.EventID
+	clk vclock.Clock
+}
+
 // rendezvous is the cross-shard meeting point: a striped map from event ID
 // to a finalized clock (sends and sync base clocks) plus a published-mark
 // set (sync round 2). Striping keeps unrelated waits off each other's lock.
 type rendezvous struct {
-	stripes [64]rvStripe
+	stripes [rvStripes]rvStripe
 }
 
 type rvStripe struct {
@@ -902,9 +1181,13 @@ func (rv *rendezvous) init() {
 	}
 }
 
-func (rv *rendezvous) stripeFor(id model.EventID) *rvStripe {
+func stripeIdx(id model.EventID) uint32 {
 	h := uint32(id.Process)*0x9E3779B1 ^ uint32(id.Index)*0x85EBCA6B
-	return &rv.stripes[h&63]
+	return h & (rvStripes - 1)
+}
+
+func (rv *rendezvous) stripeFor(id model.EventID) *rvStripe {
+	return &rv.stripes[stripeIdx(id)]
 }
 
 // put publishes a clock under id. Ownership transfers to the taker.

@@ -178,6 +178,58 @@ func TestSubmitBatchPartialAccept(t *testing.T) {
 	}
 }
 
+// TestSubmitBatchPartialAcceptAsyncPlanner re-runs the applied-prefix
+// contract with the pipelined planner on: the collector pre-validates and
+// counts the prefix before dispatch, so deferred pipeline error timing must
+// not change the returned counts — and the prefix is queryable once the
+// ingest barrier closes the async window. (Tenant event quotas are checked
+// before submission and stay batch-atomic regardless of planner mode; see
+// TestTenantQuotaLimits.)
+func TestSubmitBatchPartialAcceptAsyncPlanner(t *testing.T) {
+	m, err := NewWithOptions(3, hct.Config{MaxClusterSize: 4, Decider: strategy.NewMergeOnFirst()},
+		hct.PipelineOptions{Shards: 2, PlanQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !m.Pipeline().PlannerPipelined() {
+		t.Fatal("pipelined planner not enabled")
+	}
+	c := NewCollector(m)
+	c.pipelined = true
+	batch := []model.Event{
+		ev(model.Unary, id(0, 1), model.EventID{}),
+		ev(model.Send, id(0, 2), id(1, 1)),
+		ev(model.Receive, id(1, 1), id(0, 2)),
+		ev(model.Sync, id(2, 1), id(2, 1)), // bad: self-sync
+		ev(model.Unary, id(1, 2), model.EventID{}),
+	}
+	n, err := c.SubmitBatch(batch)
+	if !errors.Is(err, ErrSelfSync) {
+		t.Fatalf("SubmitBatch: %v, want ErrSelfSync", err)
+	}
+	if n != 3 {
+		t.Fatalf("accepted %d records, want the 3-record prefix", n)
+	}
+	m.IngestBarrier()
+	if ok, err := m.Precedes(id(0, 2), id(1, 1)); err != nil || !ok {
+		t.Fatalf("prefix not delivered: Precedes=%v err=%v", ok, err)
+	}
+	if _, ok := m.Queries.Timestamp(id(2, 1)); ok {
+		t.Fatal("rejected record reached the pipeline")
+	}
+	if n, err := c.SubmitBatch(batch[4:]); err != nil || n != 1 {
+		t.Fatalf("tail resubmission: n=%d err=%v", n, err)
+	}
+	m.IngestBarrier()
+	if _, ok := m.Queries.Timestamp(id(1, 2)); !ok {
+		t.Fatal("tail not delivered after barrier")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSubmitBatchScratchReuse pushes many batches through one collector and
 // checks the per-call bookkeeping ends clean each time — the scratch-buffer
 // path must behave identically to fresh allocations.

@@ -65,7 +65,15 @@ func New(numProcs int, cfg hct.Config) (*Monitor, error) {
 // throughput differs. Callers that choose shards > 1 own the pipeline's
 // goroutines and must Close the monitor when done.
 func NewSharded(numProcs int, cfg hct.Config, shards int) (*Monitor, error) {
-	pipe, err := hct.NewPipeline(numProcs, cfg, hct.PipelineOptions{Shards: shards})
+	return NewWithOptions(numProcs, cfg, hct.PipelineOptions{Shards: shards})
+}
+
+// NewWithOptions returns a monitor with full control over the ingest
+// pipeline shape — shard count and plan-queue depth (see
+// hct.PipelineOptions). Results are identical for every shape; only
+// throughput and the async error timing (see DeliverBatchAsync) differ.
+func NewWithOptions(numProcs int, cfg hct.Config, opt hct.PipelineOptions) (*Monitor, error) {
+	pipe, err := hct.NewPipeline(numProcs, cfg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -126,12 +134,19 @@ func batchTracer(tr *obs.Trace) hct.BatchTracer {
 	return tr
 }
 
-// DeliverBatchAsync ingests a run without waiting for the stamping lanes to
-// drain: when it returns, the run is validated and every cluster decision
-// is made, but timestamps may still be in flight. Queries observe them as
-// the per-process watermarks advance; IngestBarrier waits for everything
-// dispatched so far. This is the pipelined form — the caller can overlap
-// assembling (and journaling) the next run with stamping the current one.
+// DeliverBatchAsync ingests a run without waiting for planning or stamping
+// to complete: on a monitor with the pipelined planner (the default for
+// more than one shard), the run is copied onto the plan queue and the call
+// returns as soon as there is room — the caller may reuse events
+// immediately and overlap decoding/journaling the next run with planning
+// and stamping the current one. Queries observe results as the per-process
+// watermarks advance; IngestBarrier waits for everything accepted so far.
+//
+// Error timing follows the pipeline: with the pipelined planner, a run's
+// validation error surfaces on the NEXT DeliverBatchAsync call (whose own
+// run is then not ingested); the failing run's valid prefix remains
+// delivered either way. Without it (single shard, or plan queue forced
+// inline) errors are synchronous as in DeliverBatch.
 func (m *Monitor) DeliverBatchAsync(events []model.Event) error {
 	return m.DeliverBatchAsyncTraced(events, nil)
 }
@@ -140,9 +155,12 @@ func (m *Monitor) DeliverBatchAsync(events []model.Event) error {
 // (nil when the run is not sampled).
 func (m *Monitor) DeliverBatchAsyncTraced(events []model.Event, tr *obs.Trace) error {
 	if len(events) == 0 {
+		if err := m.pipe.DispatchAsync(nil, nil); err != nil {
+			return fmt.Errorf("monitor: %w", err)
+		}
 		return nil
 	}
-	if err := m.pipe.DispatchTraced(events, batchTracer(tr)); err != nil {
+	if err := m.pipe.DispatchAsync(events, batchTracer(tr)); err != nil {
 		return fmt.Errorf("monitor: %w", err)
 	}
 	return nil

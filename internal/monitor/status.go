@@ -76,6 +76,19 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	counter("poetd_cross_shard_waits_total",
 		"Cross-shard rendezvous waits that actually blocked a stamping lane.",
 		pipe.CrossShardWaits)
+	reg.GaugeFunc("poetd_planner_pipelined", "Whether the plan stage runs on its own goroutine (1) or inline on the submitter (0).",
+		func() float64 {
+			if pipe.PlannerPipelined() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("poetd_planner_occupancy", "Fraction of wall time the planner goroutine spent planning (0 when planning is inline).",
+		pipe.PlannerOccupancy)
+	reg.CounterFunc("poetd_planner_busy_seconds_total", "Cumulative seconds the planner goroutine spent planning.",
+		func() float64 { return pipe.PlannerBusy().Seconds() })
+	reg.GaugeFunc("poetd_plan_queue_batches", "Batches accepted onto the plan queue but not yet planned.",
+		func() float64 { return float64(pipe.PlanQueueDepth()) })
 	var shardBuf []uint64
 	shardVals := make(map[string]float64)
 	shardLabels := make(map[int]string)

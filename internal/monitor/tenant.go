@@ -178,6 +178,9 @@ func (s *Server) newTenant(name string, res TenantResources, serverOwned bool) *
 		if s.obs.CrossShardWait != nil {
 			res.Monitor.Pipeline().SetWaitObserver(s.obs.CrossShardWait)
 		}
+		if s.obs.PlanQueueDepth != nil {
+			res.Monitor.Pipeline().SetPlanQueueObserver(s.obs.PlanQueueDepth)
+		}
 	}
 	return t
 }

@@ -7,6 +7,10 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/hct"
+	"repro/internal/model"
+	"repro/internal/strategy"
 )
 
 func TestTraceSpanTreeSelfTimes(t *testing.T) {
@@ -447,5 +451,27 @@ func TestUntracedPathAllocationFree(t *testing.T) {
 	s := NewSampler(1e9)
 	if n := testing.AllocsPerRun(1000, func() { s.Sample(now) }); n != 0 {
 		t.Fatalf("sampling decision allocates %v per op, want 0", n)
+	}
+
+	// The ingest barrier is on the same per-frame hot path (queries barrier
+	// before answering): once warm, a barrier round-trip on a sharded
+	// pipeline with the pipelined planner must be allocation-free — the
+	// issued-count snapshot and barrier markers are pooled.
+	pipe, err := hct.NewPipeline(4, hct.Config{MaxClusterSize: 2, Decider: strategy.NewMergeOnFirst()},
+		hct.PipelineOptions{Shards: 2, PlanQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	warm := []model.Event{
+		{ID: model.EventID{Process: 0, Index: 1}, Kind: model.Unary},
+		{ID: model.EventID{Process: 1, Index: 1}, Kind: model.Unary},
+	}
+	if err := pipe.DispatchAsync(warm, nil); err != nil {
+		t.Fatal(err)
+	}
+	pipe.Barrier()
+	if n := testing.AllocsPerRun(1000, func() { pipe.Barrier() }); n != 0 {
+		t.Fatalf("ingest barrier allocates %v per round-trip, want 0", n)
 	}
 }

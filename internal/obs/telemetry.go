@@ -37,6 +37,7 @@ type Telemetry struct {
 	WALSnapshot    *Histogram // one snapshot compaction
 	RunEvents      *Histogram // events per delivered run (size histogram)
 	CrossShardWait *Histogram // time an ingest shard blocked on a cross-shard rendezvous
+	PlanQueueDepth *Histogram // plan-queue depth (batches) observed at each async enqueue
 
 	ReplayOpen        *Histogram // opening/refreshing a WAL chain for replay
 	ReplayMaterialize *Histogram // materializing a replay view at a cutoff
@@ -72,6 +73,7 @@ func NewTelemetry(reg *Registry) *Telemetry {
 		WALSnapshot:    reg.NewHistogram("poetd_wal_snapshot_seconds", "Latency of one WAL snapshot compaction."),
 		RunEvents:      reg.NewSizeHistogram("poetd_run_events", "Events per run delivered to the monitor."),
 		CrossShardWait: reg.NewHistogram("poetd_cross_shard_wait_seconds", "Time an ingest shard spent blocked at a cross-shard rendezvous (receive waiting for its send's clock)."),
+		PlanQueueDepth: reg.NewSizeHistogram("poetd_plan_queue_depth", "Plan-queue depth in batches, observed as each asynchronous batch is accepted."),
 
 		ReplayOpen:        reg.NewHistogram("poetd_replay_open_seconds", "Latency of opening or refreshing the WAL chain behind the replay plane."),
 		ReplayMaterialize: reg.NewHistogram("poetd_replay_materialize_seconds", "Latency of materializing a replay view at a cutoff (chain scan + restamping)."),
